@@ -1,0 +1,23 @@
+//! Bench: regenerate Figure 5 / Section 3.1 logic results (adder STA,
+//! slack-driven hetero partition, ALU+bypass gains).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3d_core::experiments::fig5_logic;
+use m3d_logic::adder::carry_skip_adder;
+use m3d_logic::partition::partition_hetero;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig5_adder_netlist_sta", |b| {
+        b.iter(|| std::hint::black_box(carry_skip_adder(64, 4).timing()))
+    });
+    c.bench_function("fig5_hetero_partition", |b| {
+        let nl = carry_skip_adder(64, 4);
+        b.iter(|| std::hint::black_box(partition_hetero(&nl, 0.17)))
+    });
+    c.bench_function("fig5_full_results", |b| {
+        b.iter(|| std::hint::black_box(fig5_logic::fig5()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Bench: the Figure 6/7 single-core study — timed per (app, design)
+//! simulation window so the benchmark stays tractable; the `repro` binary
+//! runs the full 21-app sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3d_bench::shared_design_space;
+use m3d_core::configs::DesignPoint;
+use m3d_core::experiments::fig6_fig7_single_core as f67;
+use m3d_core::experiments::RunScale;
+use m3d_power::model::CorePowerModel;
+use m3d_uarch::core::Core;
+use m3d_workloads::spec::spec_by_name;
+use m3d_workloads::TraceGenerator;
+
+fn bench(c: &mut Criterion) {
+    let space = shared_design_space();
+    let mut g = c.benchmark_group("fig6_fig7");
+    g.sample_size(10);
+    for d in [DesignPoint::Base, DesignPoint::M3dHet] {
+        g.bench_function(format!("sim_window_gobmk_{}", d.label()), |b| {
+            b.iter(|| {
+                let p = spec_by_name("Gobmk").expect("profile");
+                let gen = TraceGenerator::new(&p, 7, 0, 1);
+                let mut core = Core::new(0, d.core_config(), gen);
+                let _ = core.run(10_000);
+                std::hint::black_box(core.run(20_000))
+            })
+        });
+    }
+    g.bench_function("energy_accounting", |b| {
+        let p = spec_by_name("Gobmk").expect("profile");
+        let gen = TraceGenerator::new(&p, 7, 0, 1);
+        let mut core = Core::new(0, DesignPoint::M3dHet.core_config(), gen);
+        let _ = core.run(10_000);
+        let r = core.run(20_000);
+        let model = CorePowerModel::new_22nm();
+        let cfg = DesignPoint::M3dHet.power_config(space);
+        b.iter(|| std::hint::black_box(model.energy(&r, &cfg)))
+    });
+    g.finish();
+
+    // Print a miniature Figure 6/7 series so the bench run reports shape.
+    let scale = RunScale {
+        warmup: 20_000,
+        measure: 30_000,
+    };
+    let study = f67::run(space, scale);
+    println!("[fig6] average speedups: {:?}", study.average_speedup());
+    println!("[fig7] average energies: {:?}", study.average_energy());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Bench: the Figure 8 thermal study — the steady-state grid solve per
+//! stack, plus a miniature run of the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3d_bench::shared_design_space;
+use m3d_core::experiments::fig8_thermal;
+use m3d_core::experiments::RunScale;
+use m3d_tech::layers::LayerStack;
+use m3d_thermal::floorplan::Floorplan;
+use m3d_thermal::solver::{solve, LayerPower, ThermalConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    for (name, stack) in [
+        ("planar", LayerStack::planar_2d()),
+        ("m3d", LayerStack::m3d()),
+        ("tsv3d", LayerStack::tsv3d()),
+    ] {
+        g.bench_function(format!("grid_solve_{name}"), |b| {
+            let layers: Vec<LayerPower> = match stack.device_layer_indices().len() {
+                1 => {
+                    let fp = Floorplan::ryzen_like(9.0e-6);
+                    let p = fp.uniform_power(6.4);
+                    vec![LayerPower {
+                        floorplan: fp,
+                        power_w: p,
+                    }]
+                }
+                _ => {
+                    let fp = Floorplan::ryzen_like(9.0e-6).scaled(0.5);
+                    let p = fp.uniform_power(3.2);
+                    vec![
+                        LayerPower {
+                            floorplan: fp.clone(),
+                            power_w: p.clone(),
+                        },
+                        LayerPower {
+                            floorplan: fp,
+                            power_w: p,
+                        },
+                    ]
+                }
+            };
+            b.iter(|| std::hint::black_box(solve(&stack, &layers, &ThermalConfig::default())))
+        });
+    }
+    g.finish();
+
+    let rows = fig8_thermal::run(
+        shared_design_space(),
+        RunScale {
+            warmup: 20_000,
+            measure: 30_000,
+        },
+        3,
+    );
+    for r in rows {
+        println!(
+            "[fig8] {}: base {:.1}C tsv {:.1}C m3d {:.1}C (hot: {})",
+            r.app, r.base_c, r.tsv3d_c, r.m3d_het_c, r.hottest_block
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

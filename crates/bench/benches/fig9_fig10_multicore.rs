@@ -1,0 +1,39 @@
+//! Bench: the Figure 9/10 multicore study — per-design simulation windows
+//! plus a miniature full-series print.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3d_bench::shared_design_space;
+use m3d_core::configs::MulticoreDesign;
+use m3d_core::experiments::fig9_fig10_multicore as f910;
+use m3d_core::experiments::RunScale;
+use m3d_uarch::multicore::Multicore;
+use m3d_workloads::parallel::parallel_by_name;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_fig10");
+    g.sample_size(10);
+    for d in [MulticoreDesign::Base4, MulticoreDesign::M3dHet2x8] {
+        g.bench_function(format!("sim_window_ocean_{}", d.label()), |b| {
+            b.iter(|| {
+                let p = parallel_by_name("Ocean").expect("profile");
+                let mut mc = Multicore::new(d.core_config(), &p, 3, d.n_cores());
+                let _ = mc.run(5_000);
+                std::hint::black_box(mc.run(10_000))
+            })
+        });
+    }
+    g.finish();
+
+    let study = f910::run(
+        shared_design_space(),
+        RunScale {
+            warmup: 15_000,
+            measure: 20_000,
+        },
+    );
+    println!("[fig9] average speedups: {:?}", study.average_speedup());
+    println!("[fig10] average energies: {:?}", study.average_energy());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench: regenerate Table 1 / Table 2 / Figure 2 (via-level comparisons).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3d_core::experiments::table1_table2_fig2_vias as vias;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1_via_overhead", |b| {
+        b.iter(|| std::hint::black_box(vias::table1()))
+    });
+    c.bench_function("table2_via_electrical", |b| {
+        b.iter(|| std::hint::black_box(vias::table2()))
+    });
+    c.bench_function("fig2_relative_areas", |b| {
+        b.iter(|| std::hint::black_box(vias::fig2()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench: regenerate Tables 3-5 (BP/WP/PP of the RF and BPT).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3d_core::experiments::table3_4_5_partitioning as t;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_tables");
+    g.sample_size(20);
+    g.bench_function("table3_bit_partitioning", |b| {
+        b.iter(|| std::hint::black_box(t::table3()))
+    });
+    g.bench_function("table4_word_partitioning", |b| {
+        b.iter(|| std::hint::black_box(t::table4()))
+    });
+    g.bench_function("table5_port_partitioning", |b| {
+        b.iter(|| std::hint::black_box(t::table5()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

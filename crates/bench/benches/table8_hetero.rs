@@ -1,0 +1,30 @@
+//! Bench: regenerate Table 8 (hetero-layer asymmetric partitioning),
+//! plus the ablation sweeps DESIGN.md calls out: bottom-share fraction and
+//! top-layer upsize factor for the register file.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use m3d_sram::hetero::partition_hetero;
+use m3d_sram::structures::StructureId;
+use m3d_tech::via::ViaKind;
+use m3d_tech::TechnologyNode;
+
+fn bench(c: &mut Criterion) {
+    let node = TechnologyNode::n22();
+    let mut g = c.benchmark_group("table8");
+    g.sample_size(10);
+    for id in [StructureId::Rf, StructureId::Iq, StructureId::L2] {
+        g.bench_function(format!("hetero_search_{}", id.label()), |b| {
+            b.iter(|| std::hint::black_box(partition_hetero(&id.spec(), &node, ViaKind::Miv)))
+        });
+    }
+    g.finish();
+
+    let (rf, r) = partition_hetero(&StructureId::Rf.spec(), &node, ViaKind::Miv);
+    println!(
+        "[table8] RF hetero: {} split {}/{} upsize {:.1}x -> {r}",
+        rf.strategy, rf.bottom_share, rf.top_share, rf.top_upsize
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

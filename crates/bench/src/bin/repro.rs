@@ -1,0 +1,110 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [experiment ...]
+//! experiments: table1 table2 fig2 table3 table4 table5 table6 table7
+//!              table8 table11 fig5 fig6 fig7 fig8 fig9 fig10
+//!              ablations section5 all
+//! ```
+//!
+//! With no arguments, runs everything at full scale (several minutes).
+
+use m3d_core::experiments::{
+    ablations, fig5_logic, fig6_fig7_single_core, fig8_thermal, fig9_fig10_multicore,
+    section5_alternatives, table11_configs, table1_table2_fig2_vias as vias,
+    table3_4_5_partitioning as t345, table6_best, table7_techniques, table8_hetero, RunScale,
+};
+use m3d_core::planner::DesignSpace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick {
+        RunScale::quick()
+    } else {
+        RunScale::full()
+    };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--quick")
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| wanted.is_empty() || wanted.iter().any(|w| *w == name || *w == "all");
+
+    // Cheap analytical experiments first.
+    if want("table1") {
+        println!("{}", vias::table1_text());
+    }
+    if want("table2") {
+        println!("{}", vias::table2_text());
+    }
+    if want("fig2") {
+        println!("{}", vias::fig2_text());
+    }
+    if want("table3") {
+        println!("{}", t345::table3_text());
+    }
+    if want("table4") {
+        println!("{}", t345::table4_text());
+    }
+    if want("table5") {
+        println!("{}", t345::table5_text());
+    }
+    if want("fig5") {
+        println!("{}", fig5_logic::fig5_text());
+    }
+    if want("table7") {
+        println!("{}", table7_techniques::table7_text());
+    }
+    if want("ablations") {
+        println!("{}", ablations::ablations_text());
+    }
+    if want("section5") {
+        println!("{}", section5_alternatives::enlarged_text());
+        println!("{}", section5_alternatives::lp_top_text());
+    }
+
+    let needs_space = ["table6", "table8", "table11", "fig6", "fig7", "fig8", "fig9", "fig10"]
+        .iter()
+        .any(|e| want(e));
+    if !needs_space {
+        return;
+    }
+    eprintln!("[repro] computing design space (planner over 12 structures)...");
+    let space = DesignSpace::compute();
+    if want("table6") {
+        println!("{}", table6_best::table6_text(&space));
+    }
+    if want("table8") {
+        println!("{}", table8_hetero::table8_text(&space));
+    }
+    if want("table11") {
+        println!("{}", table11_configs::table11_text(&space));
+    }
+    if want("fig6") || want("fig7") {
+        eprintln!("[repro] running single-core study (21 apps x 6 designs)...");
+        let study = fig6_fig7_single_core::run(&space, scale);
+        if want("fig6") {
+            println!("{}", fig6_fig7_single_core::fig6_text(&study));
+        }
+        if want("fig7") {
+            println!("{}", fig6_fig7_single_core::fig7_text(&study));
+        }
+    }
+    if want("fig8") {
+        eprintln!("[repro] running thermal study...");
+        let apps = if quick { 6 } else { 21 };
+        let rows = fig8_thermal::run(&space, scale, apps);
+        println!("{}", fig8_thermal::fig8_text(&rows));
+    }
+    if want("fig9") || want("fig10") {
+        eprintln!("[repro] running multicore study (15 apps x 5 designs)...");
+        let study = fig9_fig10_multicore::run(&space, scale);
+        if want("fig9") {
+            println!("{}", fig9_fig10_multicore::fig9_text(&study));
+        }
+        if want("fig10") {
+            println!("{}", fig9_fig10_multicore::fig10_text(&study));
+        }
+    }
+}

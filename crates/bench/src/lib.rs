@@ -1,0 +1,14 @@
+//! Benchmark harness support: shared helpers for the per-table/figure
+//! Criterion benches and the `repro` binary that regenerates every table
+//! and figure of the paper.
+
+#![warn(missing_docs)]
+
+use m3d_core::planner::DesignSpace;
+use std::sync::OnceLock;
+
+/// A process-wide design space so benches don't recompute the planner.
+pub fn shared_design_space() -> &'static DesignSpace {
+    static SPACE: OnceLock<DesignSpace> = OnceLock::new();
+    SPACE.get_or_init(DesignSpace::compute)
+}

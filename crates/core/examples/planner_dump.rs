@@ -1,0 +1,7 @@
+use m3d_core::planner::DesignSpace;
+fn main() {
+    let s = DesignSpace::compute();
+    println!("{}", m3d_core::experiments::table6_best::table6_text(&s));
+    println!("{}", m3d_core::experiments::table8_hetero::table8_text(&s));
+    println!("derived: {:?}", s.derived);
+}

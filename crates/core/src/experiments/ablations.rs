@@ -1,0 +1,154 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//!
+//! * forcing BP instead of the selected PP on multiported structures;
+//! * the hetero bottom-share fraction sweep;
+//! * the top-layer access-transistor upsize sweep;
+//! * TSV diameter sensitivity;
+//! * shared-L2 pairing on/off in the multicore M3D design.
+
+use crate::report::{pct, Table};
+use m3d_sram::model2d::{analyze_2d, analyze_with_org};
+use m3d_sram::partition3d::{partition, partition_with_via, port_partition_plans, Strategy};
+use m3d_sram::structures::StructureId;
+use m3d_tech::process::{LayerProcesses, ProcessCorner};
+use m3d_tech::via::Via;
+use m3d_tech::{TechnologyNode, ViaKind};
+
+/// Ablation 1: strategy forced per multiported structure (latency reduction
+/// % for PP, BP, WP).
+pub fn strategy_ablation() -> Vec<(StructureId, f64, f64, f64)> {
+    let node = TechnologyNode::n22();
+    [StructureId::Rf, StructureId::Iq, StructureId::Rat]
+        .into_iter()
+        .map(|id| {
+            let spec = id.spec();
+            let base = analyze_2d(&spec, &node, ProcessCorner::bulk_hp());
+            let lat = |s: Strategy| {
+                partition(&spec, &node, s, ViaKind::Miv)
+                    .metrics
+                    .reduction_vs(&base.metrics)
+                    .latency_pct
+            };
+            (id, lat(Strategy::Port), lat(Strategy::Bit), lat(Strategy::Word))
+        })
+        .collect()
+}
+
+/// Ablation 2+3: hetero RF access latency across (bottom ports, upsize).
+/// Returns `(bottom_ports, upsize, access_s)` triples.
+pub fn hetero_rf_sweep() -> Vec<(usize, f64, f64)> {
+    let node = TechnologyNode::n22();
+    let rf = StructureId::Rf.spec();
+    let procs = LayerProcesses::hetero();
+    let via = Via::miv(&node);
+    let org = analyze_2d(&rf, &node, procs.bottom).organization;
+    let mut out = Vec::new();
+    for p_b in 9..=13 {
+        for &u in &[1.0, 1.5, 2.0, 3.0] {
+            let (bottom, top, _) =
+                port_partition_plans(&rf, &node, procs, &via, p_b, 18 - p_b, u);
+            let ab = analyze_with_org(&node, &bottom, org);
+            let at = analyze_with_org(&node, &top, org);
+            out.push((p_b, u, ab.metrics.access_s.max(at.metrics.access_s)));
+        }
+    }
+    out
+}
+
+/// Ablation 4: TSV diameter sweep (bit partitioning of the RF). Returns
+/// `(diameter_um, latency_reduction_pct)`.
+pub fn tsv_diameter_sweep() -> Vec<(f64, f64)> {
+    let node = TechnologyNode::n22();
+    let rf = StructureId::Rf.spec();
+    let base = analyze_2d(&rf, &node, ProcessCorner::bulk_hp());
+    [0.5, 1.0, 1.3, 2.0, 3.0, 5.0]
+        .into_iter()
+        .map(|d| {
+            let mut via = Via::tsv_aggressive();
+            via.diameter_um = d;
+            via.capacitance_f = 2.5e-15 * d / 1.3;
+            let r = partition_with_via(&rf, &node, Strategy::Bit, &via)
+                .metrics
+                .reduction_vs(&base.metrics);
+            (d, r.latency_pct)
+        })
+        .collect()
+}
+
+/// Render all analytical ablations.
+pub fn ablations_text() -> String {
+    let mut out = String::from("Ablations over the design choices\n\n");
+
+    let mut t = Table::new(["Structure", "PP", "BP", "WP"]);
+    for (id, pp, bp, wp) in strategy_ablation() {
+        t.row([id.label().to_owned(), pct(pp), pct(bp), pct(wp)]);
+    }
+    out.push_str("1. Forced-strategy latency reductions (multiported):\n");
+    out.push_str(&t.render());
+
+    out.push_str("\n2+3. Hetero RF access (ps) vs bottom ports x upsize:\n");
+    let mut t = Table::new(["b\\u", "1.0x", "1.5x", "2.0x", "3.0x"]);
+    let sweep = hetero_rf_sweep();
+    for p_b in 9..=13 {
+        let row: Vec<String> = std::iter::once(p_b.to_string())
+            .chain(sweep.iter().filter(|(b, _, _)| *b == p_b).map(|(_, _, a)| {
+                format!("{:.0}", a * 1e12)
+            }))
+            .collect();
+        t.row(row);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n4. TSV diameter vs RF bit-partitioning latency gain:\n");
+    let mut t = Table::new(["Diameter", "Latency reduction"]);
+    for (d, lat) in tsv_diameter_sweep() {
+        t.row([format!("{d:.1} um"), pct(lat)]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pp_wins_or_ties_for_rf() {
+        let rows = strategy_ablation();
+        let (_, pp, bp, wp) = rows[0];
+        assert!(pp >= bp - 1.0 && pp >= wp - 1.0, "pp {pp} bp {bp} wp {wp}");
+    }
+
+    #[test]
+    fn hetero_sweep_has_an_interior_upsize_optimum() {
+        // At the chosen port split, some upsize > 1.0 beats no upsizing —
+        // the paper's "double-width transistors" rationale.
+        let sweep = hetero_rf_sweep();
+        let at = |b: usize, u: f64| {
+            sweep
+                .iter()
+                .find(|(bb, uu, _)| *bb == b && (*uu - u).abs() < 1e-9)
+                .map(|(_, _, a)| *a)
+                .expect("point exists")
+        };
+        assert!(at(9, 1.5) < at(9, 1.0), "upsizing must help at b=9");
+        assert!(at(9, 3.0) > at(9, 1.5), "over-upsizing must hurt");
+    }
+
+    #[test]
+    fn tsv_gains_decay_with_diameter() {
+        let sweep = tsv_diameter_sweep();
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 0.5,
+                "gain must not grow with diameter: {w:?}"
+            );
+        }
+        assert!(sweep[0].1 > sweep.last().expect("non-empty").1 + 3.0);
+    }
+
+    #[test]
+    fn renders() {
+        assert!(ablations_text().contains("Ablations"));
+    }
+}

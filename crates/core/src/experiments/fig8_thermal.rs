@@ -1,0 +1,192 @@
+//! Figure 8: peak temperature of Base (2D), TSV3D, and M3D-Het across the
+//! SPEC applications.
+//!
+//! Per application: run the design's simulation, split the measured power
+//! over the Ryzen-like floorplan blocks, and solve the steady-state thermal
+//! grid for the design's layer stack. The 3D designs fold the floorplan to
+//! 50% footprint (the paper's conservative assumption) and split each
+//! block's power across the two device layers.
+
+use crate::configs::DesignPoint;
+use crate::experiments::RunScale;
+use crate::planner::DesignSpace;
+use crate::report::Table;
+use m3d_power::model::CorePowerModel;
+use m3d_thermal::floorplan::Floorplan;
+use m3d_thermal::solver::{solve, LayerPower, Solution, ThermalConfig};
+use m3d_tech::layers::LayerStack;
+use m3d_uarch::core::Core;
+use m3d_workloads::spec::spec2006;
+use m3d_workloads::TraceGenerator;
+
+/// 2D core area at 22 nm, m² (Ryzen-class core scaled).
+pub const CORE_AREA_M2: f64 = 9.0e-6;
+/// Share of each block's power dissipated in the bottom (fast) layer.
+const BOTTOM_POWER_SHARE: f64 = 0.55;
+
+/// One application's peak temperatures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalRow {
+    /// Application name.
+    pub app: String,
+    /// Peak temperature of the Base 2D core, °C.
+    pub base_c: f64,
+    /// Peak temperature of the TSV3D core, °C.
+    pub tsv3d_c: f64,
+    /// Peak temperature of the M3D-Het core, °C.
+    pub m3d_het_c: f64,
+    /// Hottest block in the M3D-Het design.
+    pub hottest_block: String,
+}
+
+fn solve_design(
+    stack: &LayerStack,
+    blocks: &[(&'static str, f64)],
+    folded: bool,
+    cfg: &ThermalConfig,
+) -> Solution {
+    if folded {
+        let fp = Floorplan::ryzen_like(CORE_AREA_M2).scaled(0.5);
+        let bottom: Vec<(&str, f64)> = blocks
+            .iter()
+            .map(|&(n, w)| (n, w * BOTTOM_POWER_SHARE))
+            .collect();
+        let top: Vec<(&str, f64)> = blocks
+            .iter()
+            .map(|&(n, w)| (n, w * (1.0 - BOTTOM_POWER_SHARE)))
+            .collect();
+        let layers = [
+            LayerPower {
+                floorplan: fp.clone(),
+                power_w: fp.power_from_named(&bottom),
+            },
+            LayerPower {
+                floorplan: fp.clone(),
+                power_w: fp.power_from_named(&top),
+            },
+        ];
+        solve(stack, &layers, cfg)
+    } else {
+        let fp = Floorplan::ryzen_like(CORE_AREA_M2);
+        let power = fp.power_from_named(blocks);
+        solve(
+            stack,
+            &[LayerPower {
+                floorplan: fp,
+                power_w: power,
+            }],
+            cfg,
+        )
+    }
+}
+
+/// Run the thermal study over a subset (or all) of SPEC.
+pub fn run(space: &DesignSpace, scale: RunScale, max_apps: usize) -> Vec<ThermalRow> {
+    let model = CorePowerModel::new_22nm();
+    let tcfg = ThermalConfig::default();
+    spec2006()
+        .iter()
+        .take(max_apps)
+        .map(|app| {
+            let row_for = |d: DesignPoint| {
+                let gen = TraceGenerator::new(app, 0xF16, 0, 1);
+                let mut core = Core::new(0, d.core_config(), gen);
+                let _ = core.run(scale.warmup);
+                let r = core.run(scale.measure);
+                model.block_powers(&r, &d.power_config(space))
+            };
+            let base_blocks = row_for(DesignPoint::Base);
+            let tsv_blocks = row_for(DesignPoint::Tsv3d);
+            let het_blocks = row_for(DesignPoint::M3dHet);
+
+            let base = solve_design(&LayerStack::planar_2d(), &base_blocks, false, &tcfg);
+            let tsv = solve_design(&LayerStack::tsv3d(), &tsv_blocks, true, &tcfg);
+            let het = solve_design(&LayerStack::m3d(), &het_blocks, true, &tcfg);
+            ThermalRow {
+                app: app.name.clone(),
+                base_c: base.peak_c,
+                tsv3d_c: tsv.peak_c,
+                m3d_het_c: het.peak_c,
+                hottest_block: het
+                    .hottest_block()
+                    .map(|(n, _)| n.to_owned())
+                    .unwrap_or_default(),
+            }
+        })
+        .collect()
+}
+
+/// Render Figure 8.
+pub fn fig8_text(rows: &[ThermalRow]) -> String {
+    let mut t = Table::new(["App", "Base (C)", "TSV3D (C)", "M3D-Het (C)", "Hot block"]);
+    let mut sums = [0.0f64; 3];
+    for r in rows {
+        sums[0] += r.base_c;
+        sums[1] += r.tsv3d_c;
+        sums[2] += r.m3d_het_c;
+        t.row([
+            r.app.clone(),
+            format!("{:.1}", r.base_c),
+            format!("{:.1}", r.tsv3d_c),
+            format!("{:.1}", r.m3d_het_c),
+            r.hottest_block.clone(),
+        ]);
+    }
+    let n = rows.len().max(1) as f64;
+    t.row([
+        "Average".to_owned(),
+        format!("{:.1}", sums[0] / n),
+        format!("{:.1}", sums[1] / n),
+        format!("{:.1}", sums[2] / n),
+        String::new(),
+    ]);
+    format!("Figure 8: peak temperature per design\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::DesignSpace;
+    use std::sync::OnceLock;
+
+    fn rows() -> &'static Vec<ThermalRow> {
+        static R: OnceLock<Vec<ThermalRow>> = OnceLock::new();
+        R.get_or_init(|| run(&DesignSpace::compute(), RunScale::quick(), 4))
+    }
+
+    #[test]
+    fn m3d_runs_only_slightly_hotter_than_base() {
+        // Paper: M3D-Het peaks on average only ~5°C above Base, at most
+        // ~10°C on any app.
+        for r in rows() {
+            let delta = r.m3d_het_c - r.base_c;
+            assert!(delta > -3.0 && delta < 15.0, "{}: ΔT {delta}", r.app);
+        }
+    }
+
+    #[test]
+    fn tsv3d_runs_much_hotter_than_m3d() {
+        // Paper: TSV3D averages ~30°C above Base and can exceed Tjmax.
+        for r in rows() {
+            assert!(
+                r.tsv3d_c > r.m3d_het_c + 3.0,
+                "{}: tsv {} vs m3d {}",
+                r.app,
+                r.tsv3d_c,
+                r.m3d_het_c
+            );
+        }
+    }
+
+    #[test]
+    fn temperatures_plausible() {
+        for r in rows() {
+            assert!(r.base_c > 45.0 && r.base_c < 105.0, "{}: {}", r.app, r.base_c);
+        }
+    }
+
+    #[test]
+    fn renders() {
+        assert!(fig8_text(rows()).contains("Figure 8"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Figures 9 and 10: speed-up and normalised energy of the multicore M3D
+//! designs over a four-core 2D baseline, across the 15 SPLASH-2/PARSEC
+//! applications.
+//!
+//! Every design runs the same per-core work; M3D-Het-2X runs it on eight
+//! cores, so it finishes the doubled total work in roughly the same wall
+//! clock — the paper reports its speed-up for the same *total* work, which
+//! the study captures by normalising completion time per unit of work
+//! (see [`ParallelRow::speedup`]).
+
+use crate::configs::MulticoreDesign;
+use crate::experiments::RunScale;
+use crate::planner::DesignSpace;
+use crate::report::{ratio, Table};
+use m3d_power::model::CorePowerModel;
+use m3d_uarch::multicore::Multicore;
+use m3d_uarch::stats::PerfResult;
+use m3d_workloads::parallel::splash_parsec;
+
+/// Results for one parallel application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelRow {
+    /// Application name.
+    pub app: String,
+    /// Speed-up over the 4-core Base for the same total work, in
+    /// [`MulticoreDesign::ALL`] order.
+    pub speedup: Vec<f64>,
+    /// Energy (for the same total work) normalised to Base.
+    pub energy: Vec<f64>,
+    /// Average chip power per design, watts.
+    pub power_w: Vec<f64>,
+}
+
+/// The Figure 9/10 study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticoreStudy {
+    /// Per-application rows.
+    pub rows: Vec<ParallelRow>,
+}
+
+impl MulticoreStudy {
+    /// Average speed-up per design.
+    pub fn average_speedup(&self) -> Vec<f64> {
+        avg(self.rows.iter().map(|r| &r.speedup))
+    }
+
+    /// Average normalised energy per design.
+    pub fn average_energy(&self) -> Vec<f64> {
+        avg(self.rows.iter().map(|r| &r.energy))
+    }
+
+    /// Average power per design, watts.
+    pub fn average_power(&self) -> Vec<f64> {
+        avg(self.rows.iter().map(|r| &r.power_w))
+    }
+}
+
+fn avg<'a>(it: impl Iterator<Item = &'a Vec<f64>>) -> Vec<f64> {
+    let mut sum: Vec<f64> = Vec::new();
+    let mut n = 0;
+    for v in it {
+        if sum.is_empty() {
+            sum = vec![0.0; v.len()];
+        }
+        for (s, x) in sum.iter_mut().zip(v) {
+            *s += x;
+        }
+        n += 1;
+    }
+    sum.iter().map(|s| s / n.max(1) as f64).collect()
+}
+
+/// Time per unit of work: completion time divided by total instructions.
+fn time_per_work(r: &PerfResult) -> f64 {
+    r.time_s() / r.instructions as f64
+}
+
+/// Run the full multicore study.
+pub fn run(space: &DesignSpace, scale: RunScale) -> MulticoreStudy {
+    let model = CorePowerModel::new_22nm();
+    let rows = splash_parsec()
+        .iter()
+        .map(|app| {
+            let results: Vec<(MulticoreDesign, PerfResult)> = MulticoreDesign::ALL
+                .iter()
+                .map(|&d| {
+                    let mut mc = Multicore::new(d.core_config(), app, 0xF19, d.n_cores());
+                    let _ = mc.run(scale.warmup);
+                    (d, mc.run(scale.measure))
+                })
+                .collect();
+            let breakdowns: Vec<_> = results
+                .iter()
+                .map(|(d, r)| model.energy(r, &d.power_config(space)))
+                .collect();
+            let (base_t, base_e) = (time_per_work(&results[0].1), {
+                // Energy per unit work of the Base design.
+                breakdowns[0].total_j() / results[0].1.instructions as f64
+            });
+            ParallelRow {
+                app: app.name.clone(),
+                speedup: results
+                    .iter()
+                    .map(|(_, r)| base_t / time_per_work(r))
+                    .collect(),
+                energy: breakdowns
+                    .iter()
+                    .zip(&results)
+                    .map(|(b, (_, r))| (b.total_j() / r.instructions as f64) / base_e)
+                    .collect(),
+                power_w: breakdowns.iter().map(|b| b.average_power_w()).collect(),
+            }
+        })
+        .collect();
+    MulticoreStudy { rows }
+}
+
+fn render(
+    study: &MulticoreStudy,
+    values: impl Fn(&ParallelRow) -> &Vec<f64>,
+    avg_row: Vec<f64>,
+    title: &str,
+) -> String {
+    let mut header = vec!["App".to_owned()];
+    header.extend(MulticoreDesign::ALL.iter().map(|d| d.label().to_owned()));
+    let mut t = Table::new(header);
+    for r in &study.rows {
+        let mut cells = vec![r.app.clone()];
+        cells.extend(values(r).iter().map(|v| ratio(*v)));
+        t.row(cells);
+    }
+    let mut cells = vec!["Average".to_owned()];
+    cells.extend(avg_row.iter().map(|v| ratio(*v)));
+    t.row(cells);
+    format!("{title}\n{}", t.render())
+}
+
+/// Render Figure 9 (speed-up over the 4-core Base).
+pub fn fig9_text(study: &MulticoreStudy) -> String {
+    render(
+        study,
+        |r| &r.speedup,
+        study.average_speedup(),
+        "Figure 9: speed-up of multicore M3D designs over 4-core Base (2D)",
+    )
+}
+
+/// Render Figure 10 (energy normalised to the 4-core Base).
+pub fn fig10_text(study: &MulticoreStudy) -> String {
+    render(
+        study,
+        |r| &r.energy,
+        study.average_energy(),
+        "Figure 10: energy of multicore M3D designs normalised to 4-core Base",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::DesignSpace;
+    use std::sync::OnceLock;
+
+    fn study() -> &'static MulticoreStudy {
+        static S: OnceLock<MulticoreStudy> = OnceLock::new();
+        S.get_or_init(|| run(&DesignSpace::compute(), RunScale::quick()))
+    }
+
+    fn idx(d: MulticoreDesign) -> usize {
+        MulticoreDesign::ALL
+            .iter()
+            .position(|&x| x == d)
+            .expect("known")
+    }
+
+    #[test]
+    fn het_2x_wins_big() {
+        // Paper: M3D-Het-2X is ~1.92x over the 4-core Base — the headline.
+        let avg = study().average_speedup();
+        let x2 = avg[idx(MulticoreDesign::M3dHet2x8)];
+        let het = avg[idx(MulticoreDesign::M3dHet4)];
+        assert!(x2 > 1.5 && x2 < 2.6, "Het-2X speedup {x2}");
+        assert!(x2 > het, "2X {x2} must beat 4-core Het {het}");
+    }
+
+    #[test]
+    fn design_ordering_matches_figure9() {
+        let avg = study().average_speedup();
+        let v = |d| avg[idx(d)];
+        assert!((v(MulticoreDesign::Base4) - 1.0).abs() < 1e-9);
+        assert!(v(MulticoreDesign::Tsv3d4) > 1.0);
+        assert!(v(MulticoreDesign::Tsv3d4) < v(MulticoreDesign::M3dHet4));
+    }
+
+    #[test]
+    fn m3d_designs_save_energy() {
+        // Paper: M3D-Het −33%, M3D-Het-2X −39%, TSV3D −17%.
+        let avg = study().average_energy();
+        let het = avg[idx(MulticoreDesign::M3dHet4)];
+        let x2 = avg[idx(MulticoreDesign::M3dHet2x8)];
+        let tsv = avg[idx(MulticoreDesign::Tsv3d4)];
+        assert!(het < 0.85, "Het energy {het}");
+        assert!(x2 < het + 0.05, "2X energy {x2} vs Het {het}");
+        assert!(tsv > het, "TSV {tsv} saves less than Het {het}");
+    }
+
+    #[test]
+    fn het_2x_stays_near_iso_power() {
+        // Paper: Het-2X runs twice the cores within ~13% more power than the
+        // 4-core Base. Allow a generous band for the model.
+        let avg = study().average_power();
+        let base = avg[idx(MulticoreDesign::Base4)];
+        let x2 = avg[idx(MulticoreDesign::M3dHet2x8)];
+        let ratio = x2 / base;
+        assert!(ratio < 1.45, "Het-2X power ratio {ratio}");
+    }
+
+    #[test]
+    fn renders() {
+        assert!(fig9_text(study()).contains("Figure 9"));
+        assert!(fig10_text(study()).contains("Figure 10"));
+    }
+}

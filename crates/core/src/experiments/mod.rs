@@ -1,0 +1,51 @@
+//! One driver per table/figure of the paper's evaluation.
+//!
+//! Every driver returns typed rows plus a rendered text table so that the
+//! `repro` binary, the Criterion benches, and the integration tests all
+//! consume the same code path.
+
+pub mod ablations;
+pub mod fig5_logic;
+pub mod fig6_fig7_single_core;
+pub mod fig8_thermal;
+pub mod fig9_fig10_multicore;
+pub mod table1_table2_fig2_vias;
+pub mod table3_4_5_partitioning;
+pub mod table6_best;
+pub mod section5_alternatives;
+pub mod table7_techniques;
+pub mod table8_hetero;
+pub mod table11_configs;
+
+/// Simulation window sizes shared by the performance experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScale {
+    /// Warm-up µops per core (caches/predictors, not measured).
+    pub warmup: u64,
+    /// Measured µops per core.
+    pub measure: u64,
+}
+
+impl RunScale {
+    /// Full-size runs used by the `repro` binary and EXPERIMENTS.md.
+    pub fn full() -> Self {
+        Self {
+            warmup: 250_000,
+            measure: 150_000,
+        }
+    }
+
+    /// Small runs for tests and quick benches.
+    pub fn quick() -> Self {
+        Self {
+            warmup: 50_000,
+            measure: 60_000,
+        }
+    }
+}
+
+impl Default for RunScale {
+    fn default() -> Self {
+        Self::full()
+    }
+}

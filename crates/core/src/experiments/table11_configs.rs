@@ -1,0 +1,84 @@
+//! Table 11: the evaluated configurations, with both the paper's stated
+//! frequencies and the frequencies our own model derives (Section 6.1).
+
+use crate::configs::{DesignPoint, MulticoreDesign};
+use crate::planner::DesignSpace;
+use crate::report::Table;
+
+/// Render Table 11.
+pub fn table11_text(space: &DesignSpace) -> String {
+    let mut t = Table::new(["Name", "f (paper)", "f (derived)", "Notes"]);
+    for d in DesignPoint::ALL {
+        let notes = match d {
+            DesignPoint::Base => "Baseline 2D",
+            DesignPoint::Tsv3d => "Conventional TSV3D",
+            DesignPoint::M3dIso => "Iso-layer M3D",
+            DesignPoint::M3dHetNaive => "Hetero-layer, no modifications",
+            DesignPoint::M3dHet => "Hetero-layer with our modifications",
+            DesignPoint::M3dHetAgg => "Aggressive M3D-Het (IQ-limited)",
+        };
+        t.row([
+            d.label().to_owned(),
+            format!("{:.2} GHz", d.paper_frequency_ghz()),
+            format!("{:.2} GHz", d.derived_frequency_ghz(space)),
+            notes.to_owned(),
+        ]);
+    }
+    for m in MulticoreDesign::ALL {
+        let cfg = m.core_config();
+        t.row([
+            format!("{} ({}c)", m.label(), m.n_cores()),
+            format!("{:.2} GHz", cfg.freq_ghz),
+            String::new(),
+            format!(
+                "issue {}, Vdd {:.2} V{}",
+                cfg.issue_width,
+                m.vdd(),
+                if cfg.shared_l2_pairs {
+                    ", shared L2 pairs"
+                } else {
+                    ""
+                }
+            ),
+        ]);
+    }
+    format!("Table 11: core configurations evaluated\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn space() -> &'static DesignSpace {
+        static S: OnceLock<DesignSpace> = OnceLock::new();
+        S.get_or_init(DesignSpace::compute)
+    }
+
+    #[test]
+    fn derived_frequencies_track_paper_within_band() {
+        // The analytical model will not match CACTI exactly; require the
+        // derived single-core frequencies to sit within ±15% of Table 11.
+        let s = space();
+        for d in [
+            DesignPoint::M3dIso,
+            DesignPoint::M3dHet,
+            DesignPoint::M3dHetNaive,
+            DesignPoint::M3dHetAgg,
+        ] {
+            let paper = d.paper_frequency_ghz();
+            let derived = d.derived_frequency_ghz(s);
+            let err = (derived - paper).abs() / paper;
+            assert!(err < 0.15, "{d}: derived {derived} vs paper {paper}");
+        }
+    }
+
+    #[test]
+    fn renders_all_rows() {
+        let text = table11_text(space());
+        for d in DesignPoint::ALL {
+            assert!(text.contains(d.label()));
+        }
+        assert!(text.contains("M3D-Het-2X"));
+    }
+}

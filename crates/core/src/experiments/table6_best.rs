@@ -1,0 +1,88 @@
+//! Table 6: best iso-layer partition method for each structure, with the
+//! reductions in latency, energy, and footprint for M3D and TSV3D.
+
+use crate::planner::DesignSpace;
+use crate::report::{pct, Table};
+
+/// Render Table 6 from a computed design space.
+pub fn table6_text(space: &DesignSpace) -> String {
+    let mut t = Table::new([
+        "Structure",
+        "Best(M3D)",
+        "Best(TSV)",
+        "Lat M3D",
+        "Lat TSV",
+        "Ene M3D",
+        "Ene TSV",
+        "Area M3D",
+        "Area TSV",
+    ]);
+    for (m, v) in space.iso_best.iter().zip(&space.tsv_best) {
+        t.row([
+            m.structure.label().to_owned(),
+            m.strategy.abbrev().to_owned(),
+            v.strategy.abbrev().to_owned(),
+            pct(m.reduction.latency_pct),
+            pct(v.reduction.latency_pct),
+            pct(m.reduction.energy_pct),
+            pct(v.reduction.energy_pct),
+            pct(m.reduction.footprint_pct),
+            pct(v.reduction.footprint_pct),
+        ]);
+    }
+    format!(
+        "Table 6: best partition per structure (M3D vs TSV3D)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::DesignSpace;
+    use m3d_sram::structures::StructureId;
+    use std::sync::OnceLock;
+
+    fn space() -> &'static DesignSpace {
+        static S: OnceLock<DesignSpace> = OnceLock::new();
+        S.get_or_init(DesignSpace::compute)
+    }
+
+    #[test]
+    fn renders_all_structures() {
+        let text = table6_text(space());
+        for id in StructureId::ALL {
+            assert!(text.contains(id.label()), "{} missing", id.label());
+        }
+    }
+
+    #[test]
+    fn m3d_reductions_positive_everywhere() {
+        // Table 6: every structure improves in M3D (latency column 14-41%).
+        for p in &space().iso_best {
+            assert!(
+                p.reduction.latency_pct > 0.0,
+                "{}: {}",
+                p.structure,
+                p.reduction
+            );
+            assert!(p.reduction.footprint_pct > 25.0, "{}", p.structure);
+        }
+    }
+
+    #[test]
+    fn tsv_sometimes_regresses() {
+        // "The corresponding numbers for TSV3D are sometimes negative."
+        let any_negative = space().tsv_best.iter().any(|p| {
+            p.reduction.latency_pct < 0.0
+                || p.reduction.energy_pct < 0.0
+                || p.reduction.footprint_pct < 0.0
+        });
+        let all_below_m3d = space()
+            .tsv_best
+            .iter()
+            .zip(&space().iso_best)
+            .all(|(t, m)| t.reduction.latency_pct <= m.reduction.latency_pct + 1.5);
+        assert!(any_negative || all_below_m3d);
+    }
+}

@@ -1,0 +1,87 @@
+//! Table 7: the hetero-layer partitioning technique per structure class,
+//! verified against the behaviour of the implemented planner and logic
+//! partitioner.
+
+use crate::report::Table;
+
+/// One row of Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table7Row {
+    /// Structure class.
+    pub class: &'static str,
+    /// The paper's technique for it.
+    pub technique: &'static str,
+}
+
+/// The techniques of Table 7.
+pub fn table7() -> Vec<Table7Row> {
+    vec![
+        Table7Row {
+            class: "Logic stage",
+            technique: "Critical paths in bottom layer; non-critical paths in top",
+        },
+        Table7Row {
+            class: "Storage (port partitioning)",
+            technique: "Asymmetric ports; larger access transistors in top layer",
+        },
+        Table7Row {
+            class: "Storage (bit/word partitioning)",
+            technique: "Asymmetric array split; larger bit cells in top layer",
+        },
+        Table7Row {
+            class: "Mixed stage",
+            technique: "Combination of the previous two techniques",
+        },
+    ]
+}
+
+/// Render Table 7.
+pub fn table7_text() -> String {
+    let mut t = Table::new(["Structure", "Partitioning technique"]);
+    for r in table7() {
+        t.row([r.class, r.technique]);
+    }
+    format!(
+        "Table 7: partitioning techniques for a hetero-layer M3D core\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_logic::adder::carry_skip_adder;
+    use m3d_logic::partition::partition_hetero as logic_partition;
+    use m3d_sram::hetero::partition_hetero as sram_partition;
+    use m3d_sram::partition3d::Strategy;
+    use m3d_sram::structures::StructureId;
+    use m3d_tech::node::TechnologyNode;
+    use m3d_tech::via::ViaKind;
+
+    #[test]
+    fn four_technique_classes() {
+        assert_eq!(table7().len(), 4);
+        assert!(table7_text().contains("Asymmetric"));
+    }
+
+    #[test]
+    fn logic_row_is_what_the_partitioner_does() {
+        // "Critical paths in bottom layer" with no stage slowdown.
+        let p = logic_partition(&carry_skip_adder(64, 4), 0.17);
+        assert!(p.delay_ratio() <= 1.0 + 1e-9);
+        assert!(p.top_fraction() >= 0.5);
+    }
+
+    #[test]
+    fn storage_rows_are_what_the_planner_does() {
+        let node = TechnologyNode::n22();
+        // PP structure: asymmetric ports (bottom >= top).
+        let (rf, _) = sram_partition(&StructureId::Rf.spec(), &node, ViaKind::Miv);
+        assert_eq!(rf.strategy, Strategy::Port);
+        assert!(rf.bottom_share >= rf.top_share);
+        // BP/WP structure: asymmetric array (bottom slice >= top slice).
+        let (bpt, _) = sram_partition(&StructureId::Bpt.spec(), &node, ViaKind::Miv);
+        assert_ne!(bpt.strategy, Strategy::Port);
+        assert!(bpt.bottom_share >= bpt.top_share);
+    }
+}

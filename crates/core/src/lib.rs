@@ -1,0 +1,34 @@
+//! The paper's contribution as a library: partitioning a processor for
+//! monolithic 3D, and the full evaluation harness.
+//!
+//! * [`planner`] — runs the CACTI-like model over the twelve core storage
+//!   structures and picks the best iso-layer (Table 6) and hetero-layer
+//!   (Table 8) partitions, plus the TSV3D comparison points.
+//! * [`configs`] — the evaluated designs (Table 11): `Base`, `TSV3D`,
+//!   `M3D-Iso`, `M3D-HetNaive`, `M3D-Het`, `M3D-HetAgg` and the multicore
+//!   variants, with their frequencies both as the paper states them and as
+//!   derived from our own model.
+//! * [`experiments`] — one driver per table/figure of the paper; each
+//!   returns typed rows and pretty-prints in the paper's layout.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use m3d_core::planner::DesignSpace;
+//!
+//! let space = DesignSpace::compute();
+//! // PP wins for the multiported register file in M3D.
+//! let rf = &space.iso_best[0];
+//! assert_eq!(rf.structure.label(), "RF");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod configs;
+pub mod experiments;
+pub mod planner;
+pub mod report;
+
+pub use configs::{DesignPoint, MulticoreDesign};
+pub use planner::DesignSpace;

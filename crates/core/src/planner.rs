@@ -1,0 +1,264 @@
+//! The partition planner: apply the paper's methodology to every core
+//! storage structure and derive the design frequencies (Sections 3–4, 6.1).
+
+use m3d_sram::hetero::{partition_hetero, HeteroPartitioned};
+use m3d_sram::metrics::Reduction;
+use m3d_sram::model2d::analyze_2d;
+use m3d_sram::partition3d::{best_partition, Strategy};
+use m3d_sram::structures::StructureId;
+use m3d_tech::node::TechnologyNode;
+use m3d_tech::process::ProcessCorner;
+use m3d_tech::via::ViaKind;
+
+/// Baseline 2D core frequency, GHz (Table 11, set by the RF access time).
+pub const BASE_FREQ_GHZ: f64 = 3.3;
+/// Frequency loss of the naive hetero design, from the AES-block
+/// measurement of Shi et al. (Section 6.1).
+pub const HET_NAIVE_LOSS: f64 = 0.09;
+
+/// One structure's planning outcome for a given via technology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedStructure {
+    /// Which structure.
+    pub structure: StructureId,
+    /// Chosen strategy.
+    pub strategy: Strategy,
+    /// Reductions vs the 2D baseline.
+    pub reduction: Reduction,
+    /// 2D access latency, seconds (for frequency derivation).
+    pub base_access_s: f64,
+}
+
+/// One structure's hetero-layer outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedHetero {
+    /// Which structure.
+    pub structure: StructureId,
+    /// The asymmetric design found.
+    pub design: HeteroPartitioned,
+    /// Reductions vs the 2D baseline.
+    pub reduction: Reduction,
+}
+
+/// Frequencies derived from our own model's reductions (Section 6.1 logic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivedFrequencies {
+    /// Iso-layer M3D, limited by the least-improved array structure.
+    pub iso_ghz: f64,
+    /// Aggressive iso-layer M3D, limited by the IQ only.
+    pub iso_agg_ghz: f64,
+    /// Naive hetero (iso slowed by the AES-block 9%).
+    pub het_naive_ghz: f64,
+    /// Our hetero-layer design, limited by the least-improved structure.
+    pub het_ghz: f64,
+    /// Aggressive hetero design, limited by the IQ only.
+    pub het_agg_ghz: f64,
+}
+
+/// The full design space the experiments consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    /// Technology node used (22 nm).
+    pub node: TechnologyNode,
+    /// Best iso-layer M3D partition per structure (Table 6, M3D columns).
+    pub iso_best: Vec<PlannedStructure>,
+    /// Best TSV3D partition per structure (Table 6, TSV columns).
+    pub tsv_best: Vec<PlannedStructure>,
+    /// Hetero-layer asymmetric partitions (Table 8).
+    pub het_best: Vec<PlannedHetero>,
+    /// Frequencies derived from the model.
+    pub derived: DerivedFrequencies,
+}
+
+impl DesignSpace {
+    /// Run the planner over all twelve structures. Takes a second or two
+    /// (it evaluates every strategy and the hetero search spaces).
+    pub fn compute() -> Self {
+        let node = TechnologyNode::n22();
+        let mut iso_best = Vec::new();
+        let mut tsv_best = Vec::new();
+        let mut het_best = Vec::new();
+        for id in StructureId::ALL {
+            let spec = id.spec();
+            let base = analyze_2d(&spec, &node, ProcessCorner::bulk_hp());
+            let (s_m3d, _, r_m3d) = best_partition(&spec, &node, ViaKind::Miv);
+            iso_best.push(PlannedStructure {
+                structure: id,
+                strategy: s_m3d,
+                reduction: r_m3d,
+                base_access_s: base.metrics.access_s,
+            });
+            let (s_tsv, _, r_tsv) = best_partition(&spec, &node, ViaKind::TsvAggressive);
+            tsv_best.push(PlannedStructure {
+                structure: id,
+                strategy: s_tsv,
+                reduction: r_tsv,
+                base_access_s: base.metrics.access_s,
+            });
+            let (design, r_het) = partition_hetero(&spec, &node, ViaKind::Miv);
+            het_best.push(PlannedHetero {
+                structure: id,
+                design,
+                reduction: r_het,
+            });
+        }
+
+        let min_lat = |rs: &[f64]| rs.iter().copied().fold(f64::INFINITY, f64::min);
+        let iso_lats: Vec<f64> = iso_best.iter().map(|p| p.reduction.latency_pct).collect();
+        let het_lats: Vec<f64> = het_best.iter().map(|p| p.reduction.latency_pct).collect();
+        let iq_pos = StructureId::ALL
+            .iter()
+            .position(|&s| s == StructureId::Iq)
+            .expect("IQ is in the structure list");
+
+        let f_of = |lat_pct: f64| BASE_FREQ_GHZ / (1.0 - (lat_pct / 100.0).max(0.0));
+        let iso_ghz = f_of(min_lat(&iso_lats));
+        let derived = DerivedFrequencies {
+            iso_ghz,
+            iso_agg_ghz: f_of(iso_lats[iq_pos]),
+            het_naive_ghz: iso_ghz * (1.0 - HET_NAIVE_LOSS),
+            het_ghz: f_of(min_lat(&het_lats)),
+            het_agg_ghz: f_of(het_lats[iq_pos]),
+        };
+        Self {
+            node,
+            iso_best,
+            tsv_best,
+            het_best,
+            derived,
+        }
+    }
+
+    /// Per-structure *energy* reductions (percent) for the iso-layer design,
+    /// consumed by the power model.
+    pub fn iso_energy_reductions(&self) -> Vec<(StructureId, f64)> {
+        self.iso_best
+            .iter()
+            .map(|p| (p.structure, p.reduction.energy_pct.max(0.0)))
+            .collect()
+    }
+
+    /// Per-structure energy reductions for the TSV3D design.
+    pub fn tsv_energy_reductions(&self) -> Vec<(StructureId, f64)> {
+        self.tsv_best
+            .iter()
+            .map(|p| (p.structure, p.reduction.energy_pct))
+            .collect()
+    }
+
+    /// Per-structure energy reductions for the hetero-layer design.
+    pub fn het_energy_reductions(&self) -> Vec<(StructureId, f64)> {
+        self.het_best
+            .iter()
+            .map(|p| (p.structure, p.reduction.energy_pct.max(0.0)))
+            .collect()
+    }
+
+    /// The iso-layer planning row for one structure.
+    pub fn iso_of(&self, id: StructureId) -> &PlannedStructure {
+        self.iso_best
+            .iter()
+            .find(|p| p.structure == id)
+            .expect("all structures planned")
+    }
+
+    /// The hetero-layer planning row for one structure.
+    pub fn het_of(&self, id: StructureId) -> &PlannedHetero {
+        self.het_best
+            .iter()
+            .find(|p| p.structure == id)
+            .expect("all structures planned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn space() -> &'static DesignSpace {
+        static SPACE: OnceLock<DesignSpace> = OnceLock::new();
+        SPACE.get_or_init(DesignSpace::compute)
+    }
+
+    #[test]
+    fn plans_all_twelve_structures() {
+        let s = space();
+        assert_eq!(s.iso_best.len(), 12);
+        assert_eq!(s.tsv_best.len(), 12);
+        assert_eq!(s.het_best.len(), 12);
+    }
+
+    #[test]
+    fn multiported_structures_use_port_partitioning_in_m3d() {
+        // Table 6's headline: PP for the RF (and the tie-break favours PP
+        // for the other multiported structures where it is latency-close).
+        let s = space();
+        assert_eq!(s.iso_of(StructureId::Rf).strategy, Strategy::Port);
+    }
+
+    #[test]
+    fn bpt_uses_word_partitioning() {
+        // The BPT array is much taller than wide: WP wins (Section 3.2.2).
+        let s = space();
+        assert_eq!(s.iso_of(StructureId::Bpt).strategy, Strategy::Word);
+    }
+
+    #[test]
+    fn tsv_never_uses_port_partitioning() {
+        for p in &space().tsv_best {
+            assert_ne!(p.strategy, Strategy::Port, "{}", p.structure);
+        }
+    }
+
+    #[test]
+    fn m3d_beats_tsv_on_latency_everywhere() {
+        // Within a small tolerance: the LQ's best-TSV and best-M3D picks can
+        // land within a fraction of a point of each other.
+        let s = space();
+        for (m, t) in s.iso_best.iter().zip(&s.tsv_best) {
+            assert!(
+                m.reduction.latency_pct >= t.reduction.latency_pct - 1.5,
+                "{}: m3d {} vs tsv {}",
+                m.structure,
+                m.reduction.latency_pct,
+                t.reduction.latency_pct
+            );
+        }
+    }
+
+    #[test]
+    fn derived_frequencies_are_ordered_like_table11() {
+        // Base < HetNaive < Het <= Iso < HetAgg (paper: 3.3 < 3.5 < 3.79 <
+        // 3.83 < 4.34).
+        let d = space().derived;
+        assert!(BASE_FREQ_GHZ < d.het_naive_ghz);
+        assert!(d.het_naive_ghz < d.iso_ghz);
+        assert!(d.het_ghz <= d.iso_ghz + 1e-9);
+        assert!(d.iso_ghz < d.het_agg_ghz);
+        // And in the right ballpark.
+        assert!(d.iso_ghz > 3.5 && d.iso_ghz < 4.3, "iso {}", d.iso_ghz);
+        assert!(d.het_ghz > 3.4 && d.het_ghz < 4.2, "het {}", d.het_ghz);
+    }
+
+    #[test]
+    fn hetero_recovers_most_of_iso() {
+        // M3D-Het's frequency should be close to M3D-Iso's (the paper: 3.79
+        // vs 3.83), far above the naive 9% loss.
+        let d = space().derived;
+        let gap = (d.iso_ghz - d.het_ghz) / d.iso_ghz;
+        assert!(gap < 0.08, "hetero loses {}% of iso", gap * 100.0);
+    }
+
+    #[test]
+    fn energy_reductions_are_substantial_in_m3d() {
+        let s = space();
+        let avg: f64 = s
+            .iso_energy_reductions()
+            .iter()
+            .map(|(_, e)| e)
+            .sum::<f64>()
+            / 12.0;
+        assert!(avg > 25.0, "average array energy reduction {avg}%");
+    }
+}

@@ -1,0 +1,179 @@
+//! The ALU + results-bypass execution stage (paper Section 3.1).
+//!
+//! The paper synthesized and laid out a 64-bit adder with its bypass path in
+//! 45 nm using M3D place-and-route tools, and measured:
+//!
+//! * one ALU + bypass: **15%** higher frequency in two-layer M3D, **41%**
+//!   footprint reduction;
+//! * four ALUs + bypass: **28%** higher frequency, **10%** lower energy,
+//!   41% lower footprint (the bypass path length grows quadratically with
+//!   ALU count, so wire delay contributes more).
+//!
+//! This module reproduces those numbers with a calibrated stage-delay model:
+//! the stage delay decomposes into gate delay, local wiring, and semi-global
+//! bypass wiring. Folding into two layers shrinks local wires by 25%
+//! (3D floorplanner result, refs 38/44) and semi-global wires by up to 50%
+//! (footprint halving).
+
+use crate::adder::carry_skip_adder;
+use m3d_tech::node::TechnologyNode;
+
+/// Fraction of the one-ALU 2D stage delay due to gates.
+const GATE_FRACTION: f64 = 0.60;
+/// Fraction due to local (intra-block) wiring.
+const LOCAL_WIRE_FRACTION: f64 = 0.28;
+/// Fraction due to the semi-global bypass bus (one ALU).
+const SEMI_WIRE_FRACTION: f64 = 0.12;
+/// Growth of the critical bypass wire delay per additional ALU. The *total*
+/// bypass wire length grows quadratically with ALU count; the critical
+/// source-to-sink path grows close to linearly.
+const SEMI_GROWTH_PER_ALU: f64 = 0.88;
+/// Local wire length reduction from M3D place and route (refs 38, 44).
+const LOCAL_WIRE_REDUCTION_3D: f64 = 0.25;
+/// Semi-global wire reduction from footprint halving (Section 3.1).
+const SEMI_WIRE_REDUCTION_3D: f64 = 0.50;
+/// Footprint reduction measured for the laid-out stage.
+pub const FOOTPRINT_REDUCTION_3D: f64 = 0.41;
+
+/// An execution stage with `n_alus` ALUs and a full bypass network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BypassStage {
+    /// Number of ALUs sharing the bypass network.
+    pub n_alus: usize,
+    /// Technology node.
+    pub node: TechnologyNode,
+    adder_delay_fo4: f64,
+}
+
+impl BypassStage {
+    /// Build the stage model at a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_alus` is zero.
+    pub fn new(n_alus: usize, node: TechnologyNode) -> Self {
+        assert!(n_alus > 0, "need at least one ALU");
+        let adder_delay_fo4 = carry_skip_adder(64, 4).timing().critical_path;
+        Self {
+            n_alus,
+            node,
+            adder_delay_fo4,
+        }
+    }
+
+    /// Semi-global wire fraction for this ALU count (relative to the one-ALU
+    /// 2D stage delay).
+    fn semi_fraction(&self) -> f64 {
+        SEMI_WIRE_FRACTION * (1.0 + SEMI_GROWTH_PER_ALU * (self.n_alus as f64 - 1.0))
+    }
+
+    /// 2D stage delay, seconds.
+    pub fn delay_2d_s(&self) -> f64 {
+        let unit = self.adder_delay_fo4 * self.node.fo4_delay_s / GATE_FRACTION;
+        unit * (GATE_FRACTION + LOCAL_WIRE_FRACTION + self.semi_fraction())
+    }
+
+    /// Two-layer M3D stage delay, seconds. `gate_scale` lets the hetero-layer
+    /// partition charge any residual gate slowdown (1.0 when the critical
+    /// paths stay in the bottom layer).
+    pub fn delay_3d_s(&self, gate_scale: f64) -> f64 {
+        let unit = self.adder_delay_fo4 * self.node.fo4_delay_s / GATE_FRACTION;
+        unit * (GATE_FRACTION * gate_scale
+            + LOCAL_WIRE_FRACTION * (1.0 - LOCAL_WIRE_REDUCTION_3D)
+            + self.semi_fraction() * (1.0 - SEMI_WIRE_REDUCTION_3D))
+    }
+
+    /// Frequency gain of the M3D stage over 2D (e.g. 0.15 = 15%).
+    pub fn frequency_gain_3d(&self) -> f64 {
+        self.delay_2d_s() / self.delay_3d_s(1.0) - 1.0
+    }
+
+    /// Switching-energy scale of the M3D stage relative to 2D (< 1.0). The
+    /// paper measured 10% lower energy for the four-ALU stage; the reduction
+    /// comes entirely from shortened wires.
+    pub fn energy_scale_3d(&self) -> f64 {
+        // Energy fractions track the wire delay fractions loosely; gates
+        // dominate energy more than delay.
+        let gate_e = 0.70;
+        let total_wire = LOCAL_WIRE_FRACTION + self.semi_fraction();
+        let local_share = LOCAL_WIRE_FRACTION / total_wire;
+        let wire_e = 1.0 - gate_e;
+        gate_e
+            + wire_e
+                * (local_share * (1.0 - LOCAL_WIRE_REDUCTION_3D)
+                    + (1.0 - local_share) * (1.0 - SEMI_WIRE_REDUCTION_3D))
+    }
+
+    /// Footprint of the M3D stage relative to 2D.
+    pub fn footprint_scale_3d(&self) -> f64 {
+        1.0 - FOOTPRINT_REDUCTION_3D
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n45() -> TechnologyNode {
+        TechnologyNode::n45()
+    }
+
+    #[test]
+    fn one_alu_gains_about_15pct() {
+        let s = BypassStage::new(1, n45());
+        let g = s.frequency_gain_3d();
+        assert!((g - 0.15).abs() < 0.02, "gain {g}");
+    }
+
+    #[test]
+    fn four_alus_gain_about_28pct() {
+        let s = BypassStage::new(4, n45());
+        let g = s.frequency_gain_3d();
+        assert!((g - 0.28).abs() < 0.03, "gain {g}");
+    }
+
+    #[test]
+    fn four_alus_save_about_10pct_energy() {
+        let s = BypassStage::new(4, n45());
+        let e = 1.0 - s.energy_scale_3d();
+        assert!((e - 0.10).abs() < 0.04, "energy saving {e}");
+    }
+
+    #[test]
+    fn footprint_reduction_is_41pct() {
+        let s = BypassStage::new(4, n45());
+        assert!((s.footprint_scale_3d() - 0.59).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_grows_with_alu_count() {
+        let g1 = BypassStage::new(1, n45()).frequency_gain_3d();
+        let g2 = BypassStage::new(2, n45()).frequency_gain_3d();
+        let g4 = BypassStage::new(4, n45()).frequency_gain_3d();
+        assert!(g1 < g2 && g2 < g4);
+    }
+
+    #[test]
+    fn hetero_gate_penalty_reduces_gain() {
+        let s = BypassStage::new(4, n45());
+        let iso = s.delay_3d_s(1.0);
+        let naive = s.delay_3d_s(1.17);
+        assert!(naive > iso);
+        // Partition-aware hetero (critical gates in the bottom layer) keeps
+        // the iso delay.
+        assert!((s.delay_3d_s(1.0) - iso).abs() < 1e-18);
+    }
+
+    #[test]
+    fn absolute_delay_scales_with_node() {
+        let d45 = BypassStage::new(1, TechnologyNode::n45()).delay_2d_s();
+        let d22 = BypassStage::new(1, TechnologyNode::n22()).delay_2d_s();
+        assert!(d45 > d22);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one ALU")]
+    fn rejects_zero_alus() {
+        let _ = BypassStage::new(0, n45());
+    }
+}

@@ -1,0 +1,93 @@
+//! Decode-stage partitioning (paper Section 4.1.2).
+//!
+//! Modern x86 decoders comprise several *simple* decoders (one µop per
+//! instruction) and one *complex* decoder backed by a µcode ROM. The paper's
+//! hetero-layer plan: simple decoders — the common, latency-critical case —
+//! stay in the bottom layer; the complex decoder and µcode ROM move to the
+//! top layer and take one extra cycle (the µcode ROM was already
+//! multi-cycle).
+
+/// Decoder complement of the modeled core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodePlan {
+    /// Number of simple decoders (bottom layer).
+    pub simple_decoders: usize,
+    /// Whether the complex decoder + µcode ROM are moved to the top layer.
+    pub complex_in_top: bool,
+}
+
+impl DecodePlan {
+    /// The 2D baseline: everything in one layer.
+    pub fn planar(simple_decoders: usize) -> Self {
+        Self {
+            simple_decoders,
+            complex_in_top: false,
+        }
+    }
+
+    /// The hetero-layer M3D plan of Section 4.1.2.
+    pub fn hetero_m3d(simple_decoders: usize) -> Self {
+        Self {
+            simple_decoders,
+            complex_in_top: true,
+        }
+    }
+
+    /// Extra decode cycles charged to an instruction. Simple instructions
+    /// never pay; complex ones pay one cycle when the complex decoder lives
+    /// in the top layer.
+    pub fn extra_cycles(&self, complex_instruction: bool) -> u32 {
+        u32::from(complex_instruction && self.complex_in_top)
+    }
+
+    /// Average extra decode cycles for a stream where `complex_rate` of
+    /// instructions use the complex decoder. x86 integer code typically has
+    /// `complex_rate` well under 5%, so the penalty is negligible — the
+    /// paper's justification for the move.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `complex_rate` is within `[0, 1]`.
+    pub fn average_extra_cycles(&self, complex_rate: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&complex_rate),
+            "complex_rate must be a probability"
+        );
+        if self.complex_in_top {
+            complex_rate
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planar_never_pays() {
+        let d = DecodePlan::planar(4);
+        assert_eq!(d.extra_cycles(true), 0);
+        assert_eq!(d.extra_cycles(false), 0);
+    }
+
+    #[test]
+    fn hetero_charges_only_complex() {
+        let d = DecodePlan::hetero_m3d(4);
+        assert_eq!(d.extra_cycles(false), 0);
+        assert_eq!(d.extra_cycles(true), 1);
+    }
+
+    #[test]
+    fn average_penalty_is_negligible_for_typical_code() {
+        let d = DecodePlan::hetero_m3d(4);
+        assert!(d.average_extra_cycles(0.03) < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "complex_rate must be a probability")]
+    fn rejects_bad_rate() {
+        let _ = DecodePlan::hetero_m3d(4).average_extra_cycles(1.5);
+    }
+}

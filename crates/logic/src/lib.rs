@@ -1,0 +1,49 @@
+//! Gate-level logic-stage models and two-layer M3D partitioning
+//! (paper Sections 3.1, 4.1, 4.3–4.4, Figure 5).
+//!
+//! The paper's logic-stage methodology is: synthesize a stage (they use a
+//! 64-bit adder plus bypass network), run static timing, and place the
+//! critical paths in the bottom (fast) layer while the ample non-critical
+//! logic fills the top (slow) layer. This crate rebuilds that flow:
+//!
+//! * [`netlist`] — a simple combinational netlist with static timing
+//!   analysis (arrival, required time, slack).
+//! * [`adder`] — a 64-bit carry-skip adder generator (the paper's Figure 5
+//!   circuit), with conditional-sum blocks.
+//! * [`partition`] — the slack-driven two-layer partitioner for hetero-layer
+//!   M3D; verifies that ≥50% of gates fit in a 17–20% slower top layer
+//!   without stretching the critical path.
+//! * [`bypass`] — the ALU + results-bypass stage model, calibrated to the
+//!   paper's measured M3D place-and-route results (15% frequency gain for
+//!   one ALU, 28% for four, 41% footprint reduction, 10% energy saving).
+//! * [`decode`] — simple/complex x86-style decode partitioning (Section
+//!   4.1.2).
+//! * [`select`] — issue-select arbitration tree partitioning (Section 4.4.1).
+//!
+//! # Example
+//!
+//! ```
+//! use m3d_logic::adder::carry_skip_adder;
+//! use m3d_logic::partition::partition_hetero;
+//!
+//! let adder = carry_skip_adder(64, 4);
+//! let result = partition_hetero(&adder, 0.17);
+//! // Most of the adder tolerates a 17% slower top layer.
+//! assert!(result.top_fraction() >= 0.5);
+//! assert!(result.delay_ratio() <= 1.0 + 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adder;
+pub mod bypass;
+pub mod decode;
+pub mod netlist;
+pub mod partition;
+pub mod prefix;
+pub mod select;
+
+pub use bypass::BypassStage;
+pub use netlist::Netlist;
+pub use partition::partition_hetero;

@@ -1,0 +1,100 @@
+//! Voltage–frequency scaling (paper Section 6.1, M3D-Het-2X).
+//!
+//! The paper lowers a 3.79 GHz M3D-Het core to the 2D baseline's 3.3 GHz and
+//! converts the slack into a 50 mV supply reduction (0.8 V → 0.75 V),
+//! "following curves from the literature" (ScalCore, the 280 mV-to-1.2 V
+//! IA-32 part). We use the classic alpha-power law, `f ∝ (V − Vt)^α / V`,
+//! calibrated so that exactly that design point holds.
+
+/// Alpha-power-law voltage–frequency curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VfCurve {
+    /// Threshold voltage, volts.
+    pub vt: f64,
+    /// Velocity-saturation exponent.
+    pub alpha: f64,
+    /// Reference frequency (GHz) at the reference voltage.
+    pub f_ref_ghz: f64,
+    /// Reference voltage, volts.
+    pub v_ref: f64,
+}
+
+impl VfCurve {
+    /// The 22 nm curve used throughout: 0.8 V nominal, Vt ≈ 0.35 V,
+    /// α ≈ 1.75 — chosen so a 3.79 GHz design reaches 3.3 GHz at ≈0.75 V,
+    /// the paper's M3D-Het-2X operating point.
+    pub fn n22(f_ref_ghz: f64) -> Self {
+        Self {
+            vt: 0.35,
+            alpha: 1.75,
+            f_ref_ghz,
+            v_ref: 0.8,
+        }
+    }
+
+    /// Maximum frequency at supply `v`, GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not above the threshold voltage.
+    pub fn frequency_at(&self, v: f64) -> f64 {
+        assert!(v > self.vt, "supply {v} V must exceed Vt {} V", self.vt);
+        let shape = |v: f64| (v - self.vt).powf(self.alpha) / v;
+        self.f_ref_ghz * shape(v) / shape(self.v_ref)
+    }
+
+    /// Minimum supply voltage that sustains `f_ghz`, volts (bisection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_ghz` exceeds the curve's frequency at 1.2 V.
+    pub fn voltage_for(&self, f_ghz: f64) -> f64 {
+        let (mut lo, mut hi) = (self.vt + 1e-3, 1.2);
+        assert!(
+            f_ghz <= self.frequency_at(hi),
+            "{f_ghz} GHz is beyond the curve"
+        );
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.frequency_at(mid) < f_ghz {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_point_holds() {
+        // M3D-Het at 3.79 GHz slowed to 3.3 GHz should allow ≈0.75 V.
+        let curve = VfCurve::n22(3.79);
+        let v = curve.voltage_for(3.3);
+        assert!((v - 0.75).abs() < 0.01, "v = {v}");
+    }
+
+    #[test]
+    fn frequency_monotonic_in_voltage() {
+        let c = VfCurve::n22(3.3);
+        assert!(c.frequency_at(0.9) > c.frequency_at(0.8));
+        assert!(c.frequency_at(0.8) > c.frequency_at(0.7));
+    }
+
+    #[test]
+    fn reference_point_round_trips() {
+        let c = VfCurve::n22(3.3);
+        assert!((c.frequency_at(0.8) - 3.3).abs() < 1e-9);
+        assert!((c.voltage_for(3.3) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed Vt")]
+    fn rejects_subthreshold() {
+        let _ = VfCurve::n22(3.3).frequency_at(0.3);
+    }
+}

@@ -1,0 +1,37 @@
+//! McPAT-style power and energy model (paper Section 6).
+//!
+//! Converts the cycle-level simulator's activity counters into energy, using
+//! per-access array energies from the CACTI-like `m3d-sram` model, logic
+//! per-op energies, a clock-tree power model, and leakage. The 3D design
+//! knobs follow the paper's methodology exactly:
+//!
+//! * array energies scale by the per-structure reductions of Tables 6/8;
+//! * logic switching power scales by the factor measured on the laid-out
+//!   ALU + bypass circuit (~0.9);
+//! * clock-tree switching power scales by a constant 0.75;
+//! * leakage power is left unchanged (energy still falls because 3D designs
+//!   finish earlier);
+//! * voltage scaling (M3D-Het-2X at 0.75 V) scales dynamic energy by `V²`
+//!   with the frequency/voltage curve of [`dvfs`].
+//!
+//! # Example
+//!
+//! ```
+//! use m3d_power::model::{CorePowerModel, PowerConfig};
+//!
+//! let model = CorePowerModel::new_22nm();
+//! let base = PowerConfig::planar_2d(3.3);
+//! // A typical Base-core interval: ~2e9 µops/s at 6-ish watts.
+//! # let _ = (model, base);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dvfs;
+pub mod energies;
+pub mod model;
+
+pub use dvfs::VfCurve;
+pub use energies::StructureEnergies;
+pub use model::{CorePowerModel, EnergyBreakdown, PowerConfig};

@@ -1,0 +1,235 @@
+//! Bitcell geometry and electrical model.
+//!
+//! A multi-ported 6T-derived cell is wire-pitch limited: the storage core
+//! (two cross-coupled inverters) occupies a fixed footprint, and **each port
+//! adds one wordline pitch vertically and one bitline-pair pitch
+//! horizontally**. Cell area therefore grows quadratically with port count —
+//! the first of the paper's two partitioning rules (Section 3.2).
+//!
+//! Access-transistor upsizing (used by the hetero-layer top layer) lowers the
+//! pull-down resistance proportionally but increases the gate load on the
+//! wordline and grows the port pitch slightly (transistor, not wire, growth).
+
+use m3d_tech::node::TechnologyNode;
+use m3d_tech::process::ProcessCorner;
+
+/// Width of the cross-coupled inverter core, in feature sizes.
+///
+/// The paper observes that "the area of the two inverters in a bitcell is
+/// comparable to that of two ports": with a 6 F port pitch, a 12 F core
+/// matches two ports.
+pub const CORE_WIDTH_F: f64 = 12.0;
+/// Height of the inverter core, in feature sizes.
+pub const CORE_HEIGHT_F: f64 = 12.0;
+/// Horizontal pitch added per port (a bitline pair), in feature sizes.
+pub const PORT_PITCH_W_F: f64 = 6.0;
+/// Vertical pitch added per port (a wordline), in feature sizes.
+pub const PORT_PITCH_H_F: f64 = 6.0;
+/// Extra width for a CAM cell's compare transistors, in feature sizes.
+pub const CAM_EXTRA_W_F: f64 = 8.0;
+/// Extra height for a CAM cell's match line, in feature sizes.
+pub const CAM_EXTRA_H_F: f64 = 4.0;
+/// Fraction of access-transistor upsizing that shows up as port-pitch growth
+/// (the pitch is wire-limited, so doubling the device grows the pitch ~30%).
+pub const UPSIZE_PITCH_FRACTION: f64 = 0.1;
+/// Default access transistor width in multiples of minimum width.
+pub const ACCESS_WIDTH_X: f64 = 2.5;
+
+/// Physical and electrical description of one bitcell as laid out on one
+/// layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellGeometry {
+    /// Cell width, feature sizes.
+    pub width_f: f64,
+    /// Cell height, feature sizes.
+    pub height_f: f64,
+    /// Ports wired through this cell (on this layer).
+    pub ports: usize,
+    /// Whether the cell stores its inverter core on this layer.
+    pub has_core: bool,
+    /// Access transistor upsize factor (1.0 = nominal).
+    pub upsize: f64,
+    /// Process corner of the layer holding this cell.
+    pub process: ProcessCorner,
+}
+
+impl CellGeometry {
+    /// A standard RAM cell with `ports` ports on the layer, `cam` compare
+    /// hardware, and `upsize`-scaled access transistors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upsize < 1.0`.
+    pub fn new(ports: usize, cam: bool, upsize: f64, process: ProcessCorner) -> Self {
+        Self::with_core(ports, cam, upsize, process, true)
+    }
+
+    /// A cell as laid out on a given layer: `has_core = false` models the top
+    /// layer of a port-partitioned cell, which carries only access ports (the
+    /// cross-coupled inverters stay on the bottom layer, Figure 3(c)).
+    pub fn with_core(
+        ports: usize,
+        cam: bool,
+        upsize: f64,
+        process: ProcessCorner,
+        has_core: bool,
+    ) -> Self {
+        assert!(upsize >= 1.0, "upsize must be >= 1.0, got {upsize}");
+        let pitch_scale = 1.0 + UPSIZE_PITCH_FRACTION * (upsize - 1.0);
+        let pw = PORT_PITCH_W_F * pitch_scale;
+        let ph = PORT_PITCH_H_F * pitch_scale;
+        let (core_w, core_h) = if has_core {
+            (CORE_WIDTH_F, CORE_HEIGHT_F)
+        } else {
+            // Port-only layer still needs the landing area for the two
+            // storage-node vias.
+            (4.0, CORE_HEIGHT_F)
+        };
+        let (cam_w, cam_h) = if cam {
+            (CAM_EXTRA_W_F, CAM_EXTRA_H_F)
+        } else {
+            (0.0, 0.0)
+        };
+        Self {
+            width_f: core_w + pw * ports as f64 + cam_w,
+            height_f: core_h + ph * ports as f64 + cam_h,
+            ports,
+            has_core,
+            upsize,
+            process,
+        }
+    }
+
+    /// Cell width in micrometres at `node`.
+    pub fn width_um(&self, node: &TechnologyNode) -> f64 {
+        node.f_to_um(self.width_f)
+    }
+
+    /// Cell height in micrometres at `node`.
+    pub fn height_um(&self, node: &TechnologyNode) -> f64 {
+        node.f_to_um(self.height_f)
+    }
+
+    /// Cell area in square micrometres at `node`.
+    pub fn area_um2(&self, node: &TechnologyNode) -> f64 {
+        self.width_um(node) * self.height_um(node)
+    }
+
+    /// Gate capacitance this cell presents to one wordline, farads.
+    ///
+    /// Multi-ported register files use single-ended read ports (one access
+    /// transistor per cell per wordline), so upsizing the access device only
+    /// "slightly" increases the wordline load — the behaviour the paper
+    /// relies on in Section 4.2.1.
+    pub fn wordline_gate_cap_f(&self, node: &TechnologyNode) -> f64 {
+        // Only the access gate of the two-transistor read stack loads the
+        // wordline; upsizing the stack raises the wordline load "slightly".
+        ACCESS_WIDTH_X * (1.0 + 0.25 * (self.upsize - 1.0)) * node.c_inv_min_f
+    }
+
+    /// Drain capacitance this cell presents to one bitline, farads.
+    pub fn bitline_drain_cap_f(&self, node: &TechnologyNode) -> f64 {
+        ACCESS_WIDTH_X * self.upsize * node.c_drain_min_f
+    }
+
+    /// Effective pull-down resistance through the access path when reading,
+    /// ohms. Includes the layer's process delay factor.
+    pub fn read_path_resistance_ohm(&self, node: &TechnologyNode) -> f64 {
+        // Access transistor in series with the cell pull-down; upsizing the
+        // access transistor reduces only the access component.
+        let r_access = node.r_inv_min_ohm / (ACCESS_WIDTH_X * self.upsize);
+        let r_pulldown = node.r_inv_min_ohm / 4.0;
+        (r_access + r_pulldown) * self.process.delay_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hp() -> ProcessCorner {
+        ProcessCorner::bulk_hp()
+    }
+
+    #[test]
+    fn area_grows_quadratically_with_ports() {
+        let node = TechnologyNode::n22();
+        let a1 = CellGeometry::new(1, false, 1.0, hp()).area_um2(&node);
+        let a2 = CellGeometry::new(2, false, 1.0, hp()).area_um2(&node);
+        let a18 = CellGeometry::new(18, false, 1.0, hp()).area_um2(&node);
+        assert!(a2 > a1);
+        // 18 ports vs 1 port: (12+108)^2 / (12+6)(12+6) = 120*120/324 ≈ 44x.
+        assert!(a18 / a1 > 30.0, "ratio = {}", a18 / a1);
+    }
+
+    #[test]
+    fn inverter_core_comparable_to_two_ports() {
+        // Paper Section 4.2.1.
+        assert!((CORE_WIDTH_F - 2.0 * PORT_PITCH_W_F).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_port_cell_matches_refcell_scale() {
+        // 18F x 18F = 324 F^2, within a few percent of the 320 F^2 Figure 2
+        // bitcell.
+        let c = CellGeometry::new(1, false, 1.0, hp());
+        let area_f2 = c.width_f * c.height_f;
+        assert!((area_f2 - m3d_tech::refcells::SRAM_BITCELL_AREA_F2).abs() < 20.0);
+    }
+
+    #[test]
+    fn upsizing_lowers_resistance_raises_caps() {
+        let node = TechnologyNode::n22();
+        let base = CellGeometry::new(2, false, 1.0, hp());
+        let up = CellGeometry::new(2, false, 2.0, hp());
+        assert!(up.read_path_resistance_ohm(&node) < base.read_path_resistance_ohm(&node));
+        assert!(up.wordline_gate_cap_f(&node) > base.wordline_gate_cap_f(&node));
+        assert!(up.bitline_drain_cap_f(&node) > base.bitline_drain_cap_f(&node));
+        // Pitch grows by only a fraction of the device growth.
+        assert!(up.width_f < base.width_f * 2.0);
+        assert!(up.width_f > base.width_f);
+    }
+
+    #[test]
+    fn degraded_process_slows_read_path() {
+        let node = TechnologyNode::n22();
+        let hp_cell = CellGeometry::new(1, false, 1.0, hp());
+        let lt_cell = CellGeometry::new(1, false, 1.0, ProcessCorner::top_layer_degraded());
+        let r_hp = hp_cell.read_path_resistance_ohm(&node);
+        let r_lt = lt_cell.read_path_resistance_ohm(&node);
+        assert!((r_lt / r_hp - 1.17).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upsize_two_roughly_cancels_top_layer_penalty() {
+        // The paper's hetero-layer fix: double-width access transistors in the
+        // top layer make its ports about as fast as the bottom layer's.
+        let node = TechnologyNode::n22();
+        let bottom = CellGeometry::new(1, false, 1.0, hp());
+        let top = CellGeometry::new(1, false, 2.0, ProcessCorner::top_layer_degraded());
+        let r_b = bottom.read_path_resistance_ohm(&node);
+        let r_t = top.read_path_resistance_ohm(&node);
+        assert!(r_t < r_b * 1.05, "top {r_t} vs bottom {r_b}");
+    }
+
+    #[test]
+    fn portless_core_layer_is_smaller() {
+        let with_core = CellGeometry::new(4, false, 1.0, hp());
+        let port_only = CellGeometry::with_core(4, false, 1.0, hp(), false);
+        assert!(port_only.width_f < with_core.width_f);
+    }
+
+    #[test]
+    fn cam_cell_is_larger() {
+        let node = TechnologyNode::n22();
+        let ram = CellGeometry::new(2, false, 1.0, hp());
+        let cam = CellGeometry::new(2, true, 1.0, hp());
+        assert!(cam.area_um2(&node) > ram.area_um2(&node));
+    }
+
+    #[test]
+    #[should_panic(expected = "upsize must be >= 1.0")]
+    fn rejects_downsizing() {
+        let _ = CellGeometry::new(1, false, 0.5, hp());
+    }
+}

@@ -1,0 +1,52 @@
+//! CACTI-like analytical timing/energy/area model for SRAM and CAM arrays,
+//! plus the paper's 3D partitioning transforms.
+//!
+//! The paper models every storage structure of an out-of-order core with
+//! CACTI, then derives three M3D/TSV3D partitioning strategies:
+//!
+//! * **Bit partitioning (BP)** — half of each word per layer; wordlines halve.
+//! * **Word partitioning (WP)** — half of the words per layer; bitlines halve.
+//! * **Port partitioning (PP)** — half of the ports per layer; the cell
+//!   shrinks in both dimensions, so wordlines *and* bitlines shorten.
+//!
+//! and, for the realistic *hetero-layer* M3D stack whose top layer is ~17%
+//! slower, asymmetric variants that give the top layer fewer ports (with
+//! larger access transistors) or a shorter subarray (with larger bitcells).
+//!
+//! The entry points are:
+//!
+//! * [`model2d::analyze_2d`] — baseline planar array.
+//! * [`partition3d::partition`] — iso-layer BP/WP/PP on MIVs or TSVs.
+//! * [`hetero::partition_hetero`] — hetero-layer asymmetric partitioning.
+//! * [`structures`] — the twelve core structures of the paper's Table 6.
+//!
+//! # Example
+//!
+//! ```
+//! use m3d_sram::spec::ArraySpec;
+//! use m3d_sram::model2d::analyze_2d;
+//! use m3d_sram::partition3d::{partition, Strategy};
+//! use m3d_tech::{TechnologyNode, ViaKind};
+//! use m3d_tech::process::ProcessCorner;
+//!
+//! let node = TechnologyNode::n22();
+//! let rf = ArraySpec::ram("RF", 160, 64, 12, 6);
+//! let base = analyze_2d(&rf, &node, ProcessCorner::bulk_hp());
+//! let pp = partition(&rf, &node, Strategy::Port, ViaKind::Miv);
+//! assert!(pp.metrics.access_s < base.metrics.access_s);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cell;
+pub mod hetero;
+pub mod metrics;
+pub mod model2d;
+pub mod partition3d;
+pub mod spec;
+pub mod structures;
+
+pub use metrics::{ArrayMetrics, Reduction};
+pub use partition3d::Strategy;
+pub use spec::ArraySpec;

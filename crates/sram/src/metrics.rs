@@ -1,0 +1,179 @@
+//! Result types: access metrics and reductions relative to a 2D baseline.
+
+/// Access latency, access energy, and area footprint of one array
+/// organization. This is the triple every table in the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayMetrics {
+    /// Access latency (critical read path), seconds.
+    pub access_s: f64,
+    /// Energy per access, joules.
+    pub energy_j: f64,
+    /// Area footprint (per layer, for 3D organizations), square micrometres.
+    pub footprint_um2: f64,
+}
+
+impl ArrayMetrics {
+    /// Percentage reductions of `self` relative to `baseline` (positive =
+    /// improvement), as reported throughout the paper's tables.
+    pub fn reduction_vs(&self, baseline: &ArrayMetrics) -> Reduction {
+        Reduction {
+            latency_pct: 100.0 * (1.0 - self.access_s / baseline.access_s),
+            energy_pct: 100.0 * (1.0 - self.energy_j / baseline.energy_j),
+            footprint_pct: 100.0 * (1.0 - self.footprint_um2 / baseline.footprint_um2),
+        }
+    }
+}
+
+/// Percentage reduction triple versus a 2D baseline. Negative values mean the
+/// 3D organization is *worse* (this happens for TSV-based partitions of small
+/// arrays).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reduction {
+    /// Access latency reduction, percent.
+    pub latency_pct: f64,
+    /// Access energy reduction, percent.
+    pub energy_pct: f64,
+    /// Area footprint reduction, percent.
+    pub footprint_pct: f64,
+}
+
+impl Reduction {
+    /// A zero reduction (identical to baseline).
+    pub fn zero() -> Self {
+        Self {
+            latency_pct: 0.0,
+            energy_pct: 0.0,
+            footprint_pct: 0.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Reduction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lat {:+.0}% / ene {:+.0}% / area {:+.0}%",
+            self.latency_pct, self.energy_pct, self.footprint_pct
+        )
+    }
+}
+
+/// Component-level breakdown of an array access, exposed so that the 3D
+/// transforms and the reports can show where time and energy go.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Breakdown {
+    /// Row decoder delay, seconds.
+    pub t_decoder_s: f64,
+    /// Wordline delay, seconds.
+    pub t_wordline_s: f64,
+    /// Bitline delay, seconds.
+    pub t_bitline_s: f64,
+    /// Sense amplifier delay, seconds.
+    pub t_senseamp_s: f64,
+    /// Routing (H-tree in/out plus output drive), seconds.
+    pub t_route_s: f64,
+    /// CAM search path delay (0 for pure RAM), seconds.
+    pub t_match_s: f64,
+    /// Decoder energy, joules.
+    pub e_decoder_j: f64,
+    /// Wordline energy, joules.
+    pub e_wordline_j: f64,
+    /// Bitline energy, joules.
+    pub e_bitline_j: f64,
+    /// Sense amp + output energy, joules.
+    pub e_senseamp_j: f64,
+    /// Routing energy, joules.
+    pub e_route_j: f64,
+    /// CAM search energy, joules.
+    pub e_match_j: f64,
+}
+
+impl Breakdown {
+    /// Total RAM read-path delay (decoder → wordline → bitline → sense →
+    /// route), seconds.
+    pub fn ram_path_s(&self) -> f64 {
+        self.t_decoder_s + self.t_wordline_s + self.t_bitline_s + self.t_senseamp_s + self.t_route_s
+    }
+
+    /// Critical access delay: the slower of the RAM read path and the CAM
+    /// match path, seconds.
+    pub fn access_s(&self) -> f64 {
+        self.ram_path_s().max(self.t_match_s)
+    }
+
+    /// Total energy per access, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.e_decoder_j
+            + self.e_wordline_j
+            + self.e_bitline_j
+            + self.e_senseamp_j
+            + self.e_route_j
+            + self.e_match_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(a: f64, e: f64, f: f64) -> ArrayMetrics {
+        ArrayMetrics {
+            access_s: a,
+            energy_j: e,
+            footprint_um2: f,
+        }
+    }
+
+    #[test]
+    fn reduction_signs() {
+        let base = metrics(10.0, 10.0, 10.0);
+        let better = metrics(6.0, 7.0, 5.0);
+        let r = better.reduction_vs(&base);
+        assert!((r.latency_pct - 40.0).abs() < 1e-9);
+        assert!((r.energy_pct - 30.0).abs() < 1e-9);
+        assert!((r.footprint_pct - 50.0).abs() < 1e-9);
+
+        let worse = metrics(20.0, 10.0, 10.0);
+        assert!(worse.reduction_vs(&base).latency_pct < 0.0);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = Breakdown {
+            t_decoder_s: 1.0,
+            t_wordline_s: 2.0,
+            t_bitline_s: 3.0,
+            t_senseamp_s: 1.0,
+            t_route_s: 1.0,
+            t_match_s: 0.0,
+            e_decoder_j: 1.0,
+            e_wordline_j: 1.0,
+            e_bitline_j: 1.0,
+            e_senseamp_j: 1.0,
+            e_route_j: 1.0,
+            e_match_j: 1.0,
+        };
+        assert!((b.ram_path_s() - 8.0).abs() < 1e-12);
+        assert!((b.access_s() - 8.0).abs() < 1e-12);
+        assert!((b.energy_j() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cam_path_can_dominate() {
+        let b = Breakdown {
+            t_match_s: 100.0,
+            ..Breakdown::default()
+        };
+        assert!((b.access_s() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_display() {
+        let r = Reduction {
+            latency_pct: 41.0,
+            energy_pct: 38.0,
+            footprint_pct: 56.0,
+        };
+        assert_eq!(r.to_string(), "lat +41% / ene +38% / area +56%");
+    }
+}

@@ -1,0 +1,177 @@
+//! The twelve storage structures of the modeled core (paper Table 6).
+//!
+//! Geometries `[Words; Bits per Word] × Banks` are taken verbatim from the
+//! paper; port counts follow the modeled 6-issue core of Table 9 (12R/6W
+//! register file, issue-width search ports on the IQ, two-ported load/store
+//! queues, single-ported predictors and caches).
+
+use crate::spec::ArraySpec;
+
+/// Identifier for each core storage structure, in Table 6 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StructureId {
+    /// Integer/FP register file.
+    Rf,
+    /// Issue queue (CAM wakeup).
+    Iq,
+    /// Store queue (CAM searched by loads).
+    Sq,
+    /// Load queue (CAM searched by stores).
+    Lq,
+    /// Register alias table.
+    Rat,
+    /// Branch prediction table (tournament selector/local/global).
+    Bpt,
+    /// Branch target buffer.
+    Btb,
+    /// Data TLB.
+    Dtlb,
+    /// Instruction TLB.
+    Itlb,
+    /// L1 instruction cache data array.
+    Il1,
+    /// L1 data cache data array.
+    Dl1,
+    /// Unified private L2 data array.
+    L2,
+}
+
+impl StructureId {
+    /// All structures in Table 6 order.
+    pub const ALL: [StructureId; 12] = [
+        StructureId::Rf,
+        StructureId::Iq,
+        StructureId::Sq,
+        StructureId::Lq,
+        StructureId::Rat,
+        StructureId::Bpt,
+        StructureId::Btb,
+        StructureId::Dtlb,
+        StructureId::Itlb,
+        StructureId::Il1,
+        StructureId::Dl1,
+        StructureId::L2,
+    ];
+
+    /// The paper's label for the structure.
+    pub fn label(self) -> &'static str {
+        match self {
+            StructureId::Rf => "RF",
+            StructureId::Iq => "IQ",
+            StructureId::Sq => "SQ",
+            StructureId::Lq => "LQ",
+            StructureId::Rat => "RAT",
+            StructureId::Bpt => "BPT",
+            StructureId::Btb => "BTB",
+            StructureId::Dtlb => "DTLB",
+            StructureId::Itlb => "ITLB",
+            StructureId::Il1 => "IL1",
+            StructureId::Dl1 => "DL1",
+            StructureId::L2 => "L2",
+        }
+    }
+
+    /// The array specification for this structure (Table 6 geometry).
+    pub fn spec(self) -> ArraySpec {
+        match self {
+            // 160 words x 64 bits, 12 read + 6 write ports (Section 3.2).
+            StructureId::Rf => ArraySpec::ram("RF", 160, 64, 12, 6),
+            // 84 entries; wakeup CAM searched by the 6-wide issue.
+            StructureId::Iq => ArraySpec::cam("IQ", 84, 16, 6, 4, 8, 6),
+            // 56 entries; searched by executing loads; 2 ports.
+            StructureId::Sq => ArraySpec::cam("SQ", 56, 48, 2, 2, 16, 2),
+            // 72 entries; searched by executing stores; 2 ports.
+            StructureId::Lq => ArraySpec::cam("LQ", 72, 48, 2, 2, 16, 2),
+            // 32 words x 8 bits; renames 4 µops/cycle: 8R + 4W.
+            StructureId::Rat => ArraySpec::ram("RAT", 32, 8, 8, 4),
+            // Tournament predictor tables: 4096 x 8 bits, single-ported.
+            StructureId::Bpt => ArraySpec::ram("BPT", 4096, 8, 1, 0),
+            StructureId::Btb => ArraySpec::ram("BTB", 4096, 32, 1, 0),
+            StructureId::Dtlb => ArraySpec::ram("DTLB", 192, 64, 1, 0).with_banks(8),
+            StructureId::Itlb => ArraySpec::ram("ITLB", 192, 64, 1, 0).with_banks(4),
+            StructureId::Il1 => ArraySpec::ram("IL1", 256, 256, 1, 0).with_banks(4),
+            StructureId::Dl1 => ArraySpec::ram("DL1", 128, 256, 1, 0).with_banks(8),
+            StructureId::L2 => ArraySpec::ram("L2", 512, 512, 1, 0).with_banks(8),
+        }
+    }
+
+    /// Whether the structure is multi-ported (≥2 ports), which is what
+    /// determines the best M3D strategy in the paper (PP for multi-ported,
+    /// BP/WP for single-ported).
+    pub fn is_multiported(self) -> bool {
+        let s = self.spec();
+        s.total_ports() + s.search_ports >= 2
+    }
+}
+
+impl std::fmt::Display for StructureId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// All structure specs in Table 6 order.
+pub fn all_specs() -> Vec<(StructureId, ArraySpec)> {
+    StructureId::ALL.iter().map(|&id| (id, id.spec())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_structures() {
+        assert_eq!(StructureId::ALL.len(), 12);
+        assert_eq!(all_specs().len(), 12);
+    }
+
+    #[test]
+    fn geometries_match_table6() {
+        let rf = StructureId::Rf.spec();
+        assert_eq!((rf.words, rf.bits), (160, 64));
+        let l2 = StructureId::L2.spec();
+        assert_eq!((l2.words, l2.bits, l2.banks), (512, 512, 8));
+        let bpt = StructureId::Bpt.spec();
+        assert_eq!((bpt.words, bpt.bits), (4096, 8));
+    }
+
+    #[test]
+    fn cam_structures_are_iq_sq_lq() {
+        for id in StructureId::ALL {
+            let is_cam = id.spec().is_cam();
+            let expect = matches!(id, StructureId::Iq | StructureId::Sq | StructureId::Lq);
+            assert_eq!(is_cam, expect, "{id}");
+        }
+    }
+
+    #[test]
+    fn multiported_set_matches_paper() {
+        // Paper: PP best for RF, IQ, SQ, LQ, RAT — the multiported set.
+        for id in [
+            StructureId::Rf,
+            StructureId::Iq,
+            StructureId::Sq,
+            StructureId::Lq,
+            StructureId::Rat,
+        ] {
+            assert!(id.is_multiported(), "{id} should be multiported");
+        }
+        for id in [
+            StructureId::Bpt,
+            StructureId::Btb,
+            StructureId::Il1,
+            StructureId::Dl1,
+            StructureId::L2,
+        ] {
+            assert!(!id.is_multiported(), "{id} should be single-ported");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = StructureId::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 12);
+    }
+}

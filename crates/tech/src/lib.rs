@@ -1,0 +1,46 @@
+//! Technology substrate for the M3D vertical-processor study.
+//!
+//! This crate provides the device- and interconnect-level parameters that every
+//! higher-level model in the workspace consumes:
+//!
+//! * [`node::TechnologyNode`] — per-node electrical parameters (FO4 delay, wire
+//!   RC, gate/drain capacitances, supply voltage, leakage density).
+//! * [`via`] — monolithic inter-layer vias (MIVs) and through-silicon vias
+//!   (TSVs), with the geometry and electrical characteristics of Tables 1 and 2
+//!   of the paper.
+//! * [`refcells`] — reference layout areas (FO1 inverter, 6T SRAM bitcell,
+//!   32-bit adder, 32-bit SRAM word) used by the paper's Figure 2 and Table 1.
+//! * [`process`] — process corners for the two M3D layers: bulk
+//!   high-performance, FDSOI low-power, and the degraded low-temperature top
+//!   layer (+17% inverter delay, per Shi et al.).
+//! * [`wire`] — Elmore and repeated-wire delay helpers.
+//! * [`layers`] — physical layer stacks (M3D, TSV3D, planar 2D) with the
+//!   thicknesses and thermal conductivities of Table 10, consumed by the
+//!   thermal solver.
+//!
+//! # Example
+//!
+//! ```
+//! use m3d_tech::node::TechnologyNode;
+//! use m3d_tech::via::Via;
+//!
+//! let node = TechnologyNode::n22();
+//! let miv = Via::miv(&node);
+//! let tsv = Via::tsv_aggressive();
+//! // An MIV occupies orders of magnitude less area than a TSV.
+//! assert!(miv.occupied_area_um2() * 1000.0 < tsv.occupied_area_um2());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod layers;
+pub mod node;
+pub mod process;
+pub mod refcells;
+pub mod via;
+pub mod wire;
+
+pub use node::TechnologyNode;
+pub use process::ProcessCorner;
+pub use via::{Via, ViaKind};

@@ -1,0 +1,189 @@
+//! Per-node electrical parameters.
+//!
+//! The paper models SRAM structures at 22 nm (a conservative choice), logic
+//! synthesis experiments at 45 nm, and reference layouts at 15 nm. A
+//! [`TechnologyNode`] captures everything the analytical timing/energy models
+//! need at one node. Parameters are derived from standard first-order scaling
+//! rules (FO4 delay ∝ feature size, wire resistance ∝ 1/F², wire capacitance
+//! roughly constant per unit length) anchored to widely published 22 nm values.
+
+/// Electrical and geometric parameters of a CMOS technology node.
+///
+/// All delays are in seconds, capacitances in farads, resistances in ohms,
+/// lengths in metres, unless a unit suffix says otherwise.
+///
+/// # Example
+///
+/// ```
+/// use m3d_tech::node::TechnologyNode;
+///
+/// let n = TechnologyNode::n22();
+/// assert_eq!(n.feature_nm, 22.0);
+/// // FO4 delay at 22 nm is on the order of 13 ps.
+/// assert!(n.fo4_delay_s > 10e-12 && n.fo4_delay_s < 17e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechnologyNode {
+    /// Feature size (half pitch), nanometres.
+    pub feature_nm: f64,
+    /// Nominal supply voltage, volts. 0.8 V at 22 nm per ITRS, as used by the
+    /// paper (Section 6).
+    pub vdd: f64,
+    /// Fan-out-of-4 inverter delay, seconds.
+    pub fo4_delay_s: f64,
+    /// Intrinsic time constant `tau` of a minimum inverter driving its own
+    /// input capacitance, seconds. The FO4 delay is roughly `5 * tau`.
+    pub tau_s: f64,
+    /// Input capacitance of a minimum-size inverter, farads.
+    pub c_inv_min_f: f64,
+    /// Effective drive resistance of a minimum-size inverter, ohms.
+    pub r_inv_min_ohm: f64,
+    /// Drain (diffusion) capacitance a minimum-size transistor presents to a
+    /// bitline, farads.
+    pub c_drain_min_f: f64,
+    /// Semi-global (intermediate metal) wire resistance per micrometre, ohms.
+    pub wire_r_per_um: f64,
+    /// Local/intermediate metal wire capacitance per micrometre, farads.
+    pub wire_c_per_um: f64,
+    /// Leakage power density of active logic, watts per square millimetre.
+    pub leakage_w_per_mm2: f64,
+}
+
+impl TechnologyNode {
+    /// Construct a node by first-order scaling from the 22 nm anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_nm` is not a positive, finite value.
+    pub fn from_feature_nm(feature_nm: f64) -> Self {
+        assert!(
+            feature_nm.is_finite() && feature_nm > 0.0,
+            "feature size must be positive and finite, got {feature_nm}"
+        );
+        let s = feature_nm / 22.0;
+        // FO4 ~ 0.6 ps per nm of feature size (classic rule of thumb).
+        let fo4 = 0.6e-12 * feature_nm;
+        let tau = fo4 / 5.0;
+        // Minimum inverter input capacitance scales linearly with feature size.
+        let c_inv = 0.08e-15 * s;
+        Self {
+            feature_nm,
+            vdd: 0.8,
+            fo4_delay_s: fo4,
+            tau_s: tau,
+            c_inv_min_f: c_inv,
+            r_inv_min_ohm: tau / c_inv,
+            c_drain_min_f: 0.03e-15 * s,
+            // Wire cross-section shrinks as F^2, so resistance grows as 1/s^2.
+            wire_r_per_um: 6.0 / (s * s),
+            // Capacitance per unit length is roughly node-independent.
+            wire_c_per_um: 0.22e-15,
+            // Leakage density grows slowly as features shrink.
+            leakage_w_per_mm2: 80.0e-3 / s,
+        }
+    }
+
+    /// The 45 nm node used for the paper's logic synthesis experiments.
+    pub fn n45() -> Self {
+        Self::from_feature_nm(45.0)
+    }
+
+    /// The 22 nm node used for the paper's SRAM/CAM modeling (conservative).
+    pub fn n22() -> Self {
+        Self::from_feature_nm(22.0)
+    }
+
+    /// The 15 nm node used for the paper's via-overhead comparisons.
+    pub fn n15() -> Self {
+        Self::from_feature_nm(15.0)
+    }
+
+    /// Resistance per micrometre of minimum-pitch local metal (array
+    /// wordlines/bitlines), ohms. Local wires are roughly 2x more resistive
+    /// than the intermediate metal used for routing.
+    pub fn local_wire_r_per_um(&self) -> f64 {
+        2.0 * self.wire_r_per_um
+    }
+
+    /// Length of `n` feature sizes, in micrometres.
+    pub fn f_to_um(&self, n: f64) -> f64 {
+        n * self.feature_nm * 1e-3
+    }
+
+    /// Area of `n` square feature sizes, in square micrometres.
+    pub fn f2_to_um2(&self, n: f64) -> f64 {
+        let f_um = self.feature_nm * 1e-3;
+        n * f_um * f_um
+    }
+
+    /// Dynamic switching energy of a capacitance `c` (farads) at this node's
+    /// supply, joules (`C · Vdd²`).
+    pub fn switch_energy_j(&self, c: f64) -> f64 {
+        c * self.vdd * self.vdd
+    }
+}
+
+impl Default for TechnologyNode {
+    fn default() -> Self {
+        Self::n22()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_values_at_22nm() {
+        let n = TechnologyNode::n22();
+        assert!((n.fo4_delay_s - 13.2e-12).abs() < 1e-15);
+        assert!((n.vdd - 0.8).abs() < 1e-12);
+        assert!((n.wire_r_per_um - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fo4_scales_linearly() {
+        let a = TechnologyNode::n45();
+        let b = TechnologyNode::n22();
+        let ratio = a.fo4_delay_s / b.fo4_delay_s;
+        assert!((ratio - 45.0 / 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_resistance_scales_inverse_square() {
+        let a = TechnologyNode::n45();
+        let b = TechnologyNode::n22();
+        assert!(a.wire_r_per_um < b.wire_r_per_um);
+        let ratio = b.wire_r_per_um / a.wire_r_per_um;
+        let expect = (45.0f64 / 22.0).powi(2);
+        assert!((ratio - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tau_times_five_is_fo4() {
+        let n = TechnologyNode::n22();
+        assert!((n.tau_s * 5.0 - n.fo4_delay_s).abs() < 1e-18);
+    }
+
+    #[test]
+    fn unit_helpers_round_trip() {
+        let n = TechnologyNode::n22();
+        // 1000 F at 22 nm = 22 um.
+        assert!((n.f_to_um(1000.0) - 22.0).abs() < 1e-9);
+        // 1e6 F^2 at 22 nm = (0.022 um)^2 * 1e6 = 484 um^2.
+        assert!((n.f2_to_um2(1.0e6) - 484.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn switch_energy_is_cv2() {
+        let n = TechnologyNode::n22();
+        let e = n.switch_energy_j(1e-15);
+        assert!((e - 0.64e-15).abs() < 1e-20);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature size must be positive")]
+    fn rejects_nonpositive_feature() {
+        let _ = TechnologyNode::from_feature_nm(0.0);
+    }
+}

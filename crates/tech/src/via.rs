@@ -1,0 +1,246 @@
+//! Inter-layer vias: monolithic inter-layer vias (MIVs) and through-silicon
+//! vias (TSVs).
+//!
+//! Reproduces the physical dimensions and electrical characteristics of the
+//! paper's Table 2, and the keep-out-zone (KOZ) area accounting behind Table 1.
+//!
+//! | Parameter   | MIV    | TSV (aggressive) | TSV (recent) |
+//! |-------------|--------|------------------|--------------|
+//! | Diameter    | 50 nm  | 1.3 µm           | 5 µm         |
+//! | Via height  | 310 nm | 13 µm            | 25 µm        |
+//! | Capacitance | ≈0.1 fF| 2.5 fF           | 37 fF        |
+//! | Resistance  | 5.5 Ω  | 100 mΩ           | 20 mΩ        |
+//!
+//! A TSV additionally requires a keep-out zone; the paper quotes the area of a
+//! 1.3 µm TSV plus KOZ as ≈6.25 µm², i.e. an effective side of ≈2.5 µm
+//! (a multiplier of ≈1.923 on the diameter). MIVs need no KOZ.
+
+use crate::node::TechnologyNode;
+
+/// Effective-side multiplier that accounts for a TSV's keep-out zone.
+///
+/// Chosen so that a 1.3 µm TSV occupies (1.923 · 1.3)² ≈ 6.25 µm², the value
+/// quoted in Section 2.3.1 of the paper.
+pub const TSV_KOZ_SIDE_MULTIPLIER: f64 = 2.5 / 1.3;
+
+/// The kind of vertical interconnect between two device layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViaKind {
+    /// Monolithic inter-layer via: ≈50 nm side, no keep-out zone.
+    Miv,
+    /// Aggressive TSV: 1.3 µm diameter (half the ITRS 2020 projection).
+    TsvAggressive,
+    /// Most recent research TSV: 5 µm diameter.
+    TsvRecent,
+}
+
+impl ViaKind {
+    /// All via kinds compared in the paper, in Table 1/2 order.
+    pub const ALL: [ViaKind; 3] = [ViaKind::Miv, ViaKind::TsvAggressive, ViaKind::TsvRecent];
+
+    /// Short human-readable label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ViaKind::Miv => "MIV(50nm)",
+            ViaKind::TsvAggressive => "TSV(1.3um)",
+            ViaKind::TsvRecent => "TSV(5um)",
+        }
+    }
+
+    /// Whether this via is a monolithic inter-layer via.
+    pub fn is_miv(self) -> bool {
+        matches!(self, ViaKind::Miv)
+    }
+}
+
+impl std::fmt::Display for ViaKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A vertical via with its geometry and electrical characteristics.
+///
+/// # Example
+///
+/// ```
+/// use m3d_tech::via::{Via, ViaKind};
+/// use m3d_tech::node::TechnologyNode;
+///
+/// let node = TechnologyNode::n15();
+/// let miv = Via::miv(&node);
+/// assert_eq!(miv.kind, ViaKind::Miv);
+/// // No keep-out zone: occupied area equals the drawn area.
+/// assert_eq!(miv.occupied_area_um2(), miv.drawn_area_um2());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Via {
+    /// Which via family this is.
+    pub kind: ViaKind,
+    /// Side (MIV, drawn as a square) or diameter (TSV), micrometres.
+    pub diameter_um: f64,
+    /// Vertical extent of the via, micrometres.
+    pub height_um: f64,
+    /// Parasitic capacitance, farads.
+    pub capacitance_f: f64,
+    /// Series resistance, ohms.
+    pub resistance_ohm: f64,
+}
+
+impl Via {
+    /// An MIV whose side equals the pitch of the lowest metal layer —
+    /// approximately 50 nm at the 15 nm node, scaled with the node's feature
+    /// size elsewhere.
+    pub fn miv(node: &TechnologyNode) -> Self {
+        let side_um = 0.050 * node.feature_nm / 15.0;
+        Self {
+            kind: ViaKind::Miv,
+            diameter_um: side_um,
+            height_um: 0.310,
+            capacitance_f: 0.1e-15,
+            resistance_ohm: 5.5,
+        }
+    }
+
+    /// The aggressive 1.3 µm TSV (half the ITRS 2020 diameter projection).
+    pub fn tsv_aggressive() -> Self {
+        Self {
+            kind: ViaKind::TsvAggressive,
+            diameter_um: 1.3,
+            height_um: 13.0,
+            capacitance_f: 2.5e-15,
+            resistance_ohm: 0.1,
+        }
+    }
+
+    /// The most recent research TSV: 5 µm diameter.
+    pub fn tsv_recent() -> Self {
+        Self {
+            kind: ViaKind::TsvRecent,
+            diameter_um: 5.0,
+            height_um: 25.0,
+            capacitance_f: 37.0e-15,
+            resistance_ohm: 0.02,
+        }
+    }
+
+    /// Build the via of the given kind at the given technology node.
+    pub fn of_kind(kind: ViaKind, node: &TechnologyNode) -> Self {
+        match kind {
+            ViaKind::Miv => Self::miv(node),
+            ViaKind::TsvAggressive => Self::tsv_aggressive(),
+            ViaKind::TsvRecent => Self::tsv_recent(),
+        }
+    }
+
+    /// Drawn area of the via itself (square for MIV, circumscribed square for
+    /// a TSV since routing must avoid the full pitch), square micrometres.
+    pub fn drawn_area_um2(&self) -> f64 {
+        self.diameter_um * self.diameter_um
+    }
+
+    /// Area the via denies to logic, including the keep-out zone for TSVs,
+    /// square micrometres. MIVs need no KOZ.
+    pub fn occupied_area_um2(&self) -> f64 {
+        match self.kind {
+            ViaKind::Miv => self.drawn_area_um2(),
+            ViaKind::TsvAggressive | ViaKind::TsvRecent => {
+                let side = self.diameter_um * TSV_KOZ_SIDE_MULTIPLIER;
+                side * side
+            }
+        }
+    }
+
+    /// Elmore delay contribution of this via when inserted in a path that
+    /// drives `c_downstream` farads, seconds.
+    ///
+    /// The via's own capacitance loads the upstream driver (with resistance
+    /// `r_driver_ohm`); its resistance adds in series toward the downstream
+    /// load.
+    pub fn insertion_delay_s(&self, r_driver_ohm: f64, c_downstream: f64) -> f64 {
+        0.69 * (r_driver_ohm * self.capacitance_f + self.resistance_ohm * c_downstream)
+    }
+
+    /// Energy to switch the via's parasitic capacitance once at `vdd`, joules.
+    pub fn switch_energy_j(&self, vdd: f64) -> f64 {
+        self.capacitance_f * vdd * vdd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n15() -> TechnologyNode {
+        TechnologyNode::n15()
+    }
+
+    #[test]
+    fn miv_matches_table2() {
+        let v = Via::miv(&n15());
+        assert!((v.diameter_um - 0.050).abs() < 1e-12);
+        assert!((v.height_um - 0.310).abs() < 1e-12);
+        assert!((v.capacitance_f - 0.1e-15).abs() < 1e-20);
+        assert!((v.resistance_ohm - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsv_aggressive_occupies_6_25_um2() {
+        let v = Via::tsv_aggressive();
+        assert!((v.occupied_area_um2() - 6.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn miv_has_no_koz() {
+        let v = Via::miv(&n15());
+        assert_eq!(v.occupied_area_um2(), v.drawn_area_um2());
+    }
+
+    #[test]
+    fn miv_far_smaller_than_tsv() {
+        let miv = Via::miv(&n15());
+        let tsv = Via::tsv_aggressive();
+        // Orders of magnitude: paper says MIV diameter is ~2 orders finer.
+        assert!(tsv.occupied_area_um2() / miv.occupied_area_um2() > 1000.0);
+    }
+
+    #[test]
+    fn tsv_capacitance_dominates_miv() {
+        let miv = Via::miv(&n15());
+        assert!(Via::tsv_aggressive().capacitance_f > 10.0 * miv.capacitance_f);
+        assert!(Via::tsv_recent().capacitance_f > 100.0 * miv.capacitance_f);
+    }
+
+    #[test]
+    fn rc_products_are_comparable() {
+        // Paper Section 2.1.2: the overall RC delay of MIV and TSV wires is
+        // roughly similar (within ~2 orders), even though C differs by ~25-370x.
+        let miv = Via::miv(&n15());
+        let tsv = Via::tsv_aggressive();
+        let rc_miv = miv.resistance_ohm * miv.capacitance_f;
+        let rc_tsv = tsv.resistance_ohm * tsv.capacitance_f;
+        let ratio = rc_miv / rc_tsv;
+        assert!(ratio > 0.1 && ratio < 100.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn gate_driving_miv_is_much_faster_than_tsv() {
+        // Srinivasa et al.: delay of a gate driving an MIV is ~78% lower than
+        // one driving a TSV. The driver-load term dominates.
+        let node = n15();
+        let miv = Via::miv(&node);
+        let tsv = Via::tsv_aggressive();
+        let r_drv = node.r_inv_min_ohm / 8.0; // an 8x driver
+        let c_down = 10.0 * node.c_inv_min_f;
+        let d_miv = miv.insertion_delay_s(r_drv, c_down);
+        let d_tsv = tsv.insertion_delay_s(r_drv, c_down);
+        assert!(d_miv < 0.5 * d_tsv, "miv {d_miv} vs tsv {d_tsv}");
+    }
+
+    #[test]
+    fn display_labels_match_paper() {
+        assert_eq!(ViaKind::Miv.to_string(), "MIV(50nm)");
+        assert_eq!(ViaKind::TsvAggressive.to_string(), "TSV(1.3um)");
+        assert_eq!(ViaKind::TsvRecent.to_string(), "TSV(5um)");
+    }
+}

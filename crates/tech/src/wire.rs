@@ -1,0 +1,112 @@
+//! Wire delay helpers: Elmore distributed-RC delay and optimally repeated
+//! wires.
+//!
+//! Two regimes matter for the partitioning study:
+//!
+//! * **Unrepeated wires** (wordlines, bitlines, short semi-global hops):
+//!   delay grows *quadratically* with length — this is why halving a wordline
+//!   through bit partitioning is so effective.
+//! * **Repeated wires** (H-trees, bypass buses, NoC links): delay grows
+//!   *linearly* with length once repeaters are inserted at the optimal pitch.
+
+use crate::node::TechnologyNode;
+
+/// Elmore delay of an unrepeated distributed RC wire of length `len_um`
+/// driven by a source with resistance `r_drv` into a lumped load `c_load`.
+///
+/// `t = 0.69·R_drv·(C_wire + C_load) + 0.38·R_wire·C_wire + 0.69·R_wire·C_load`
+pub fn elmore_delay_s(node: &TechnologyNode, r_drv: f64, len_um: f64, c_load: f64) -> f64 {
+    let r_w = node.wire_r_per_um * len_um;
+    let c_w = node.wire_c_per_um * len_um;
+    0.69 * r_drv * (c_w + c_load) + 0.38 * r_w * c_w + 0.69 * r_w * c_load
+}
+
+/// Delay per micrometre of an optimally repeated wire at this node, seconds.
+///
+/// The classic result: `t/L = sqrt(2 · r · c · tau_buf)` where `tau_buf` is
+/// the intrinsic buffer time constant.
+pub fn repeated_delay_per_um_s(node: &TechnologyNode) -> f64 {
+    (2.0 * node.wire_r_per_um * node.wire_c_per_um * node.tau_s).sqrt()
+}
+
+/// Total delay of an optimally repeated wire of `len_um`, seconds.
+pub fn repeated_wire_delay_s(node: &TechnologyNode, len_um: f64) -> f64 {
+    repeated_delay_per_um_s(node) * len_um
+}
+
+/// Switching energy of a wire of `len_um` (plus repeater overhead factor of
+/// ~30% when `repeated`), joules per transition.
+pub fn wire_energy_j(node: &TechnologyNode, len_um: f64, repeated: bool) -> f64 {
+    let c = node.wire_c_per_um * len_um;
+    let overhead = if repeated { 1.3 } else { 1.0 };
+    node.switch_energy_j(c) * overhead
+}
+
+/// Size (in multiples of a minimum inverter) of a driver that makes its own
+/// delay into a capacitive load roughly one FO4: a simple sizing heuristic
+/// used by the array model.
+pub fn driver_size_for_load(node: &TechnologyNode, c_load: f64) -> f64 {
+    (c_load / (4.0 * node.c_inv_min_f)).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n22() -> TechnologyNode {
+        TechnologyNode::n22()
+    }
+
+    #[test]
+    fn unrepeated_delay_superlinear_in_length() {
+        let node = n22();
+        let d1 = elmore_delay_s(&node, 1000.0, 100.0, 1e-15);
+        let d2 = elmore_delay_s(&node, 1000.0, 200.0, 1e-15);
+        // Doubling length should more than double delay (quadratic wire term).
+        assert!(d2 > 2.0 * d1 * 0.99, "d1={d1} d2={d2}");
+        // And the pure-wire part is 4x.
+        let w1 = 0.38 * node.wire_r_per_um * 100.0 * node.wire_c_per_um * 100.0;
+        let w2 = 0.38 * node.wire_r_per_um * 200.0 * node.wire_c_per_um * 200.0;
+        assert!((w2 / w1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_delay_linear_in_length() {
+        let node = n22();
+        let d1 = repeated_wire_delay_s(&node, 100.0);
+        let d2 = repeated_wire_delay_s(&node, 200.0);
+        assert!((d2 / d1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_velocity_is_plausible() {
+        // ~0.03-0.2 ps/um at 22nm.
+        let v = repeated_delay_per_um_s(&n22());
+        assert!(v > 0.02e-12 && v < 0.3e-12, "v = {v}");
+    }
+
+    #[test]
+    fn long_unrepeated_wire_slower_than_repeated() {
+        let node = n22();
+        let len = 2000.0;
+        let unrep = elmore_delay_s(&node, node.r_inv_min_ohm / 64.0, len, 0.0);
+        let rep = repeated_wire_delay_s(&node, len);
+        assert!(unrep > rep, "unrepeated {unrep} vs repeated {rep}");
+    }
+
+    #[test]
+    fn wire_energy_scales_with_length() {
+        let node = n22();
+        let e1 = wire_energy_j(&node, 10.0, false);
+        let e2 = wire_energy_j(&node, 20.0, false);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+        assert!(wire_energy_j(&node, 10.0, true) > e1);
+    }
+
+    #[test]
+    fn driver_sizing_floors_at_one() {
+        let node = n22();
+        assert_eq!(driver_size_for_load(&node, 0.0), 1.0);
+        assert!(driver_size_for_load(&node, 100.0 * node.c_inv_min_f) > 1.0);
+    }
+}

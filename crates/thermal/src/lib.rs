@@ -1,0 +1,39 @@
+//! HotSpot-style compact thermal model for 2D, M3D, and TSV3D chips
+//! (paper Section 6, Table 10, Figure 8).
+//!
+//! The chip is discretised into a 3D grid of thermal cells: one grid layer
+//! per material layer of the [`m3d_tech::layers::LayerStack`], `nx × ny`
+//! cells per layer. Cells exchange heat laterally within a layer and
+//! vertically between layers through conductances derived from the material
+//! conductivities and geometry; the heat sink connects to ambient through a
+//! convection resistance. Power is injected in the device layers according
+//! to a [`floorplan::Floorplan`] and per-block power map. The steady state
+//! is found by successive over-relaxation.
+//!
+//! # Example
+//!
+//! ```
+//! use m3d_thermal::floorplan::Floorplan;
+//! use m3d_thermal::solver::{solve, LayerPower, ThermalConfig};
+//! use m3d_tech::layers::LayerStack;
+//!
+//! let fp = Floorplan::ryzen_like(9.0e-6); // 9 mm² core
+//! let power = fp.uniform_power(6.4);
+//! let sol = solve(
+//!     &LayerStack::planar_2d(),
+//!     &[LayerPower { floorplan: fp, power_w: power }],
+//!     &ThermalConfig::default(),
+//! );
+//! assert!(sol.peak_c > 45.0 && sol.peak_c < 110.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod floorplan;
+pub mod solver;
+pub mod transient;
+
+pub use floorplan::{Block, Floorplan};
+pub use solver::{solve, LayerPower, Solution, ThermalConfig};
+pub use transient::TransientSim;

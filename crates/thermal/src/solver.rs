@@ -1,0 +1,428 @@
+//! Steady-state 3D grid solver (the HotSpot grid model).
+//!
+//! Each material layer of the stack becomes one grid layer of `nx × ny`
+//! cells. Conductances:
+//!
+//! * lateral, within a layer: `g = k · (t · dy) / dx` between side-adjacent
+//!   cells;
+//! * vertical, between layers: series combination of each layer's half
+//!   thickness, `g = A / (t₁/(2k₁) + t₂/(2k₂))`;
+//! * sink-to-ambient: the stack's first layer connects to ambient through
+//!   the convection resistance, distributed over its cells.
+//!
+//! Power is injected in device-layer cells from the floorplan power maps.
+//! Successive over-relaxation iterates `T = (Σ g·T_neighbour + P) / Σ g`.
+
+use crate::floorplan::Floorplan;
+use m3d_tech::layers::{LayerStack, HEAT_SINK_TO_AMBIENT_K_PER_W};
+
+/// Power injected into one device layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPower {
+    /// The layer's floorplan (sets the chip footprint for that layer).
+    pub floorplan: Floorplan,
+    /// Per-block power, watts, aligned with `floorplan.blocks`.
+    pub power_w: Vec<f64>,
+}
+
+impl LayerPower {
+    /// Total power of this layer, watts.
+    pub fn total_w(&self) -> f64 {
+        self.power_w.iter().sum()
+    }
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalConfig {
+    /// Grid cells along x.
+    pub nx: usize,
+    /// Grid cells along y.
+    pub ny: usize,
+    /// Ambient temperature, °C.
+    pub ambient_c: f64,
+    /// Heat-sink-to-ambient convection resistance, K/W.
+    pub convection_k_per_w: f64,
+    /// SOR relaxation factor (1.0 = Gauss-Seidel).
+    pub sor_omega: f64,
+    /// Convergence threshold on the max per-sweep update, K.
+    pub tolerance_k: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        Self {
+            nx: 24,
+            ny: 24,
+            ambient_c: 45.0,
+            convection_k_per_w: HEAT_SINK_TO_AMBIENT_K_PER_W,
+            sor_omega: 1.6,
+            tolerance_k: 1e-4,
+            max_iters: 20_000,
+        }
+    }
+}
+
+/// Steady-state solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Temperatures per stack layer, each `nx × ny` row-major, °C.
+    pub layer_temps_c: Vec<Vec<f64>>,
+    /// Peak temperature anywhere in a device layer, °C.
+    pub peak_c: f64,
+    /// Peak temperature per block name (max over device layers), °C.
+    pub block_peaks_c: Vec<(String, f64)>,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+impl Solution {
+    /// Peak temperature of a named block, if present.
+    pub fn block_peak_c(&self, name: &str) -> Option<f64> {
+        self.block_peaks_c
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+    }
+
+    /// The hottest block.
+    pub fn hottest_block(&self) -> Option<(&str, f64)> {
+        self.block_peaks_c
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("temps are finite"))
+            .map(|(n, t)| (n.as_str(), *t))
+    }
+}
+
+/// Solve the steady-state temperature field.
+///
+/// `layer_powers` are assigned to the stack's device layers in stack order
+/// (sink-first); extra device layers (if any) receive no power.
+///
+/// # Panics
+///
+/// Panics if `layer_powers` is empty or exceeds the number of device layers,
+/// or if a power map length mismatches its floorplan.
+pub fn solve(stack: &LayerStack, layer_powers: &[LayerPower], cfg: &ThermalConfig) -> Solution {
+    assert!(!layer_powers.is_empty(), "need at least one powered layer");
+    let dev = stack.device_layer_indices();
+    assert!(
+        layer_powers.len() <= dev.len(),
+        "more power maps ({}) than device layers ({})",
+        layer_powers.len(),
+        dev.len()
+    );
+    for lp in layer_powers {
+        assert_eq!(
+            lp.power_w.len(),
+            lp.floorplan.blocks.len(),
+            "power map must align with floorplan blocks"
+        );
+    }
+
+    // The chip footprint: use the largest powered floorplan.
+    let width = layer_powers
+        .iter()
+        .map(|l| l.floorplan.width_m)
+        .fold(0.0, f64::max);
+    let height = layer_powers
+        .iter()
+        .map(|l| l.floorplan.height_m)
+        .fold(0.0, f64::max);
+    let (nx, ny) = (cfg.nx, cfg.ny);
+    let (dx, dy) = (width / nx as f64, height / ny as f64);
+    let cell_area = dx * dy;
+    let nl = stack.layers.len();
+    let n_cells = nx * ny;
+
+    // Per-cell injected power for each stack layer.
+    let mut power = vec![vec![0.0f64; n_cells]; nl];
+    for (li, lp) in layer_powers.iter().enumerate() {
+        let l = dev[li];
+        let fp = &lp.floorplan;
+        // Count cells per block first so each block's power is conserved.
+        let mut cells_in_block = vec![0usize; fp.blocks.len()];
+        let mut cell_block = vec![usize::MAX; n_cells];
+        for j in 0..ny {
+            for i in 0..nx {
+                let x = (i as f64 + 0.5) * dx * (fp.width_m / width);
+                let y = (j as f64 + 0.5) * dy * (fp.height_m / height);
+                if let Some(bi) = fp.blocks.iter().position(|b| b.contains(x, y)) {
+                    cells_in_block[bi] += 1;
+                    cell_block[j * nx + i] = bi;
+                }
+            }
+        }
+        for (c, &bi) in cell_block.iter().enumerate() {
+            if bi != usize::MAX && cells_in_block[bi] > 0 {
+                power[l][c] += lp.power_w[bi] / cells_in_block[bi] as f64;
+            }
+        }
+    }
+
+    // Conductances.
+    let lat_gx: Vec<f64> = stack
+        .layers
+        .iter()
+        .map(|l| l.conductivity_w_mk * (l.thickness_m * dy) / dx)
+        .collect();
+    let lat_gy: Vec<f64> = stack
+        .layers
+        .iter()
+        .map(|l| l.conductivity_w_mk * (l.thickness_m * dx) / dy)
+        .collect();
+    let vert_g: Vec<f64> = (0..nl.saturating_sub(1))
+        .map(|l| {
+            let a = &stack.layers[l];
+            let b = &stack.layers[l + 1];
+            let r = a.thickness_m / (2.0 * a.conductivity_w_mk)
+                + b.thickness_m / (2.0 * b.conductivity_w_mk);
+            cell_area / r
+        })
+        .collect();
+    // Sink-to-ambient conductance per cell.
+    let g_amb = 1.0 / (cfg.convection_k_per_w * n_cells as f64);
+
+    // SOR sweep.
+    let mut t = vec![vec![cfg.ambient_c; n_cells]; nl];
+    let mut iterations = 0;
+    for it in 0..cfg.max_iters {
+        iterations = it + 1;
+        let mut max_delta = 0.0f64;
+        for l in 0..nl {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let c = j * nx + i;
+                    let mut num = power[l][c];
+                    let mut den = 0.0;
+                    if i > 0 {
+                        num += lat_gx[l] * t[l][c - 1];
+                        den += lat_gx[l];
+                    }
+                    if i + 1 < nx {
+                        num += lat_gx[l] * t[l][c + 1];
+                        den += lat_gx[l];
+                    }
+                    if j > 0 {
+                        num += lat_gy[l] * t[l][c - nx];
+                        den += lat_gy[l];
+                    }
+                    if j + 1 < ny {
+                        num += lat_gy[l] * t[l][c + nx];
+                        den += lat_gy[l];
+                    }
+                    if l > 0 {
+                        num += vert_g[l - 1] * t[l - 1][c];
+                        den += vert_g[l - 1];
+                    }
+                    if l + 1 < nl {
+                        num += vert_g[l] * t[l + 1][c];
+                        den += vert_g[l];
+                    }
+                    if l == 0 {
+                        num += g_amb * cfg.ambient_c;
+                        den += g_amb;
+                    }
+                    let new = t[l][c] + cfg.sor_omega * (num / den - t[l][c]);
+                    max_delta = max_delta.max((new - t[l][c]).abs());
+                    t[l][c] = new;
+                }
+            }
+        }
+        if max_delta < cfg.tolerance_k {
+            break;
+        }
+    }
+
+    // Peaks.
+    let mut peak = cfg.ambient_c;
+    for &l in &dev {
+        for &v in &t[l] {
+            peak = peak.max(v);
+        }
+    }
+    let mut block_peaks: Vec<(String, f64)> = Vec::new();
+    for (li, lp) in layer_powers.iter().enumerate() {
+        let l = dev[li];
+        let fp = &lp.floorplan;
+        for j in 0..ny {
+            for i in 0..nx {
+                let x = (i as f64 + 0.5) * dx * (fp.width_m / width);
+                let y = (j as f64 + 0.5) * dy * (fp.height_m / height);
+                if let Some(b) = fp.block_at(x, y) {
+                    let v = t[l][j * nx + i];
+                    match block_peaks.iter_mut().find(|(n, _)| *n == b.name) {
+                        Some((_, pk)) => *pk = pk.max(v),
+                        None => block_peaks.push((b.name.clone(), v)),
+                    }
+                }
+            }
+        }
+    }
+
+    Solution {
+        layer_temps_c: t,
+        peak_c: peak,
+        block_peaks_c: block_peaks,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+
+    fn cfg() -> ThermalConfig {
+        ThermalConfig {
+            nx: 16,
+            ny: 16,
+            ..ThermalConfig::default()
+        }
+    }
+
+    fn planar_at(total_w: f64) -> Solution {
+        let fp = Floorplan::ryzen_like(9.0e-6);
+        let p = fp.uniform_power(total_w);
+        solve(
+            &LayerStack::planar_2d(),
+            &[LayerPower {
+                floorplan: fp,
+                power_w: p,
+            }],
+            &cfg(),
+        )
+    }
+
+    #[test]
+    fn planar_core_reaches_plausible_temperature() {
+        // 6.4 W core (the paper's measured average) should sit well below
+        // Tjmax but clearly above ambient.
+        let s = planar_at(6.4);
+        assert!(s.peak_c > 48.0 && s.peak_c < 100.0, "peak {}", s.peak_c);
+    }
+
+    #[test]
+    fn temperature_monotonic_in_power() {
+        let lo = planar_at(3.0).peak_c;
+        let hi = planar_at(10.0).peak_c;
+        assert!(hi > lo + 2.0, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let fp = Floorplan::ryzen_like(9.0e-6);
+        let p = vec![0.0; fp.blocks.len()];
+        let s = solve(
+            &LayerStack::planar_2d(),
+            &[LayerPower {
+                floorplan: fp,
+                power_w: p,
+            }],
+            &cfg(),
+        );
+        assert!((s.peak_c - cfg().ambient_c).abs() < 0.01);
+    }
+
+    #[test]
+    fn hot_block_is_hottest() {
+        let fp = Floorplan::ryzen_like(9.0e-6);
+        let p = fp.power_from_named(&[("IQ", 4.0), ("FPU", 0.5)]);
+        let s = solve(
+            &LayerStack::planar_2d(),
+            &[LayerPower {
+                floorplan: fp,
+                power_w: p,
+            }],
+            &cfg(),
+        );
+        let (name, _) = s.hottest_block().expect("blocks exist");
+        assert_eq!(name, "IQ");
+    }
+
+    #[test]
+    fn tsv3d_far_layer_runs_hotter_than_m3d() {
+        // The paper's headline thermal result: same split power, the TSV3D
+        // stack's far-from-sink layer gets much hotter than M3D's.
+        let full = Floorplan::ryzen_like(9.0e-6);
+        let folded = full.scaled(0.5);
+        let per_layer = folded.uniform_power(3.2);
+        let layers = [
+            LayerPower {
+                floorplan: folded.clone(),
+                power_w: per_layer.clone(),
+            },
+            LayerPower {
+                floorplan: folded.clone(),
+                power_w: per_layer.clone(),
+            },
+        ];
+        let m3d = solve(&LayerStack::m3d(), &layers, &cfg());
+        let tsv = solve(&LayerStack::tsv3d(), &layers, &cfg());
+        assert!(
+            tsv.peak_c > m3d.peak_c + 3.0,
+            "tsv {} vs m3d {}",
+            tsv.peak_c,
+            m3d.peak_c
+        );
+    }
+
+    #[test]
+    fn m3d_layers_are_thermally_coupled() {
+        // Power only the far (top-fabricated) layer: in M3D the near layer
+        // tracks it closely because the ILD is 100 nm thin.
+        let folded = Floorplan::ryzen_like(4.5e-6);
+        let hot = folded.uniform_power(6.4);
+        let cold = vec![0.0; folded.blocks.len()];
+        let layers = [
+            LayerPower {
+                floorplan: folded.clone(),
+                power_w: cold,
+            },
+            LayerPower {
+                floorplan: folded.clone(),
+                power_w: hot,
+            },
+        ];
+        let s = solve(&LayerStack::m3d(), &layers, &cfg());
+        let dev = LayerStack::m3d().device_layer_indices();
+        let near_max = s.layer_temps_c[dev[0]]
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max);
+        let far_max = s.layer_temps_c[dev[1]]
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max);
+        assert!(
+            (far_max - near_max) < 2.0,
+            "near {near_max} vs far {far_max}"
+        );
+    }
+
+    #[test]
+    fn solver_converges() {
+        let s = planar_at(6.4);
+        assert!(s.iterations < cfg().max_iters, "did not converge");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one powered layer")]
+    fn rejects_empty_power() {
+        let _ = solve(&LayerStack::planar_2d(), &[], &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "more power maps")]
+    fn rejects_too_many_layers() {
+        let fp = Floorplan::ryzen_like(9.0e-6);
+        let p = fp.uniform_power(1.0);
+        let lp = LayerPower {
+            floorplan: fp,
+            power_w: p,
+        };
+        let _ = solve(&LayerStack::planar_2d(), &[lp.clone(), lp], &cfg());
+    }
+}

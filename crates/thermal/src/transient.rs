@@ -1,0 +1,316 @@
+//! Transient thermal simulation (the time-stepping counterpart of the
+//! steady-state grid solver, as in HotSpot's RC-network mode).
+//!
+//! Each grid cell gains a heat capacity `C = c_v · volume`; temperatures
+//! evolve by explicit forward-Euler integration of `C · dT/dt = P + Σ g ·
+//! (T_n − T)`. The step size is bounded by the smallest cell time constant
+//! for stability; callers give a wall-clock duration and the module
+//! sub-steps internally.
+//!
+//! Used to answer questions the steady state cannot: how fast does an M3D
+//! stack heat up after a power step (thermal coupling between the layers is
+//! nearly instantaneous thanks to the 100 nm ILD), and how much headroom do
+//! thermal sprints have.
+
+use crate::floorplan::Floorplan;
+use crate::solver::{LayerPower, ThermalConfig};
+use m3d_tech::layers::LayerStack;
+
+/// Volumetric heat capacity of silicon, J/(m³·K).
+const CV_SILICON: f64 = 1.75e6;
+/// Volumetric heat capacity of metal layers (copper-dominated), J/(m³·K).
+const CV_METAL: f64 = 3.4e6;
+/// Volumetric heat capacity of dielectrics/TIM, J/(m³·K).
+const CV_DIELECTRIC: f64 = 1.6e6;
+
+fn cv_of(name: &str) -> f64 {
+    if name.contains("Si") {
+        CV_SILICON
+    } else if name.contains("Metal") || name.contains("IHS") {
+        CV_METAL
+    } else {
+        CV_DIELECTRIC
+    }
+}
+
+/// A transient simulation of one chip stack.
+#[derive(Debug)]
+pub struct TransientSim {
+    stack: LayerStack,
+    cfg: ThermalConfig,
+    nx: usize,
+    ny: usize,
+    width: f64,
+    height: f64,
+    /// Per-layer, per-cell temperatures (°C), sink-first like the stack.
+    pub temps_c: Vec<Vec<f64>>,
+    power: Vec<Vec<f64>>,
+    caps: Vec<f64>,
+    lat_gx: Vec<f64>,
+    lat_gy: Vec<f64>,
+    vert_g: Vec<f64>,
+    g_amb: f64,
+    dev: Vec<usize>,
+    /// Elapsed simulated time, seconds.
+    pub elapsed_s: f64,
+}
+
+impl TransientSim {
+    /// Initialise at ambient with the given power maps (same conventions as
+    /// [`crate::solver::solve`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as the steady-state solver.
+    pub fn new(stack: &LayerStack, layer_powers: &[LayerPower], cfg: &ThermalConfig) -> Self {
+        assert!(!layer_powers.is_empty(), "need at least one powered layer");
+        let dev = stack.device_layer_indices();
+        assert!(
+            layer_powers.len() <= dev.len(),
+            "more power maps than device layers"
+        );
+        let width = layer_powers
+            .iter()
+            .map(|l| l.floorplan.width_m)
+            .fold(0.0, f64::max);
+        let height = layer_powers
+            .iter()
+            .map(|l| l.floorplan.height_m)
+            .fold(0.0, f64::max);
+        let (nx, ny) = (cfg.nx, cfg.ny);
+        let (dx, dy) = (width / nx as f64, height / ny as f64);
+        let n_cells = nx * ny;
+        let nl = stack.layers.len();
+
+        let mut sim = Self {
+            stack: stack.clone(),
+            cfg: cfg.clone(),
+            nx,
+            ny,
+            width,
+            height,
+            temps_c: vec![vec![cfg.ambient_c; n_cells]; nl],
+            power: vec![vec![0.0; n_cells]; nl],
+            caps: stack
+                .layers
+                .iter()
+                .map(|l| cv_of(l.name) * l.thickness_m * dx * dy)
+                .collect(),
+            lat_gx: stack
+                .layers
+                .iter()
+                .map(|l| l.conductivity_w_mk * (l.thickness_m * dy) / dx)
+                .collect(),
+            lat_gy: stack
+                .layers
+                .iter()
+                .map(|l| l.conductivity_w_mk * (l.thickness_m * dx) / dy)
+                .collect(),
+            vert_g: (0..nl.saturating_sub(1))
+                .map(|l| {
+                    let a = &stack.layers[l];
+                    let b = &stack.layers[l + 1];
+                    let r = a.thickness_m / (2.0 * a.conductivity_w_mk)
+                        + b.thickness_m / (2.0 * b.conductivity_w_mk);
+                    dx * dy / r
+                })
+                .collect(),
+            g_amb: 1.0 / (cfg.convection_k_per_w * n_cells as f64),
+            dev: dev.clone(),
+            elapsed_s: 0.0,
+        };
+        sim.set_power(layer_powers);
+        sim
+    }
+
+    /// Replace the power maps (e.g. to model a power step or a sprint).
+    pub fn set_power(&mut self, layer_powers: &[LayerPower]) {
+        let (dx, dy) = (self.width / self.nx as f64, self.height / self.ny as f64);
+        for p in &mut self.power {
+            p.iter_mut().for_each(|v| *v = 0.0);
+        }
+        for (li, lp) in layer_powers.iter().enumerate() {
+            let l = self.dev[li];
+            let fp: &Floorplan = &lp.floorplan;
+            let mut cells_in_block = vec![0usize; fp.blocks.len()];
+            let mut cell_block = vec![usize::MAX; self.nx * self.ny];
+            for j in 0..self.ny {
+                for i in 0..self.nx {
+                    let x = (i as f64 + 0.5) * dx * (fp.width_m / self.width);
+                    let y = (j as f64 + 0.5) * dy * (fp.height_m / self.height);
+                    if let Some(bi) = fp.blocks.iter().position(|b| b.contains(x, y)) {
+                        cells_in_block[bi] += 1;
+                        cell_block[j * self.nx + i] = bi;
+                    }
+                }
+            }
+            for (c, &bi) in cell_block.iter().enumerate() {
+                if bi != usize::MAX && cells_in_block[bi] > 0 {
+                    self.power[l][c] += lp.power_w[bi] / cells_in_block[bi] as f64;
+                }
+            }
+        }
+    }
+
+    /// The largest stable forward-Euler step, seconds.
+    pub fn max_stable_step_s(&self) -> f64 {
+        let nl = self.stack.layers.len();
+        let mut min_tau = f64::INFINITY;
+        for l in 0..nl {
+            let mut g = 4.0 * self.lat_gx[l].max(self.lat_gy[l]);
+            if l > 0 {
+                g += self.vert_g[l - 1];
+            }
+            if l + 1 < nl {
+                g += self.vert_g[l];
+            }
+            if l == 0 {
+                g += self.g_amb;
+            }
+            min_tau = min_tau.min(self.caps[l] / g);
+        }
+        0.5 * min_tau
+    }
+
+    /// Advance the simulation by `duration_s`, sub-stepping for stability.
+    pub fn advance(&mut self, duration_s: f64) {
+        let dt_max = self.max_stable_step_s();
+        let steps = (duration_s / dt_max).ceil().max(1.0) as usize;
+        let dt = duration_s / steps as f64;
+        let (nx, ny) = (self.nx, self.ny);
+        let nl = self.stack.layers.len();
+        let mut next = self.temps_c.clone();
+        for _ in 0..steps {
+            for l in 0..nl {
+                for j in 0..ny {
+                    for i in 0..nx {
+                        let c = j * nx + i;
+                        let t = self.temps_c[l][c];
+                        let mut flux = self.power[l][c];
+                        if i > 0 {
+                            flux += self.lat_gx[l] * (self.temps_c[l][c - 1] - t);
+                        }
+                        if i + 1 < nx {
+                            flux += self.lat_gx[l] * (self.temps_c[l][c + 1] - t);
+                        }
+                        if j > 0 {
+                            flux += self.lat_gy[l] * (self.temps_c[l][c - nx] - t);
+                        }
+                        if j + 1 < ny {
+                            flux += self.lat_gy[l] * (self.temps_c[l][c + nx] - t);
+                        }
+                        if l > 0 {
+                            flux += self.vert_g[l - 1] * (self.temps_c[l - 1][c] - t);
+                        }
+                        if l + 1 < nl {
+                            flux += self.vert_g[l] * (self.temps_c[l + 1][c] - t);
+                        }
+                        if l == 0 {
+                            flux += self.g_amb * (self.cfg.ambient_c - t);
+                        }
+                        next[l][c] = t + dt * flux / self.caps[l];
+                    }
+                }
+            }
+            std::mem::swap(&mut self.temps_c, &mut next);
+            self.elapsed_s += dt;
+        }
+    }
+
+    /// Peak device-layer temperature, °C.
+    pub fn peak_c(&self) -> f64 {
+        self.dev
+            .iter()
+            .flat_map(|&l| self.temps_c[l].iter().copied())
+            .fold(self.cfg.ambient_c, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve;
+
+    fn small_cfg() -> ThermalConfig {
+        ThermalConfig {
+            nx: 8,
+            ny: 8,
+            ..ThermalConfig::default()
+        }
+    }
+
+    fn powered(stack: &LayerStack, w: f64) -> Vec<LayerPower> {
+        let n_dev = stack.device_layer_indices().len();
+        let area = if n_dev == 2 { 4.5e-6 } else { 9.0e-6 };
+        let fp = Floorplan::ryzen_like(area);
+        let p = fp.uniform_power(w / n_dev as f64);
+        (0..n_dev)
+            .map(|_| LayerPower {
+                floorplan: fp.clone(),
+                power_w: p.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn starts_at_ambient_and_heats_up() {
+        let stack = LayerStack::planar_2d();
+        let mut sim = TransientSim::new(&stack, &powered(&stack, 6.4), &small_cfg());
+        assert!((sim.peak_c() - small_cfg().ambient_c).abs() < 1e-9);
+        sim.advance(0.01);
+        assert!(sim.peak_c() > small_cfg().ambient_c + 1.0);
+    }
+
+    #[test]
+    fn converges_toward_steady_state() {
+        let stack = LayerStack::planar_2d();
+        let layers = powered(&stack, 6.4);
+        let cfg = small_cfg();
+        let steady = solve(&stack, &layers, &cfg).peak_c;
+        let mut sim = TransientSim::new(&stack, &layers, &cfg);
+        // The die-level transient settles in milliseconds; the sink-level
+        // one in seconds. Advance far enough to be near the die steady state.
+        sim.advance(20.0);
+        let gap = (sim.peak_c() - steady).abs();
+        assert!(gap < 0.15 * steady, "transient {} vs steady {steady}", sim.peak_c());
+    }
+
+    #[test]
+    fn m3d_layers_track_each_other_through_the_transient() {
+        // The sub-micron ILD couples the two device layers almost instantly:
+        // even early in the transient their temperatures agree closely.
+        let stack = LayerStack::m3d();
+        let mut sim = TransientSim::new(&stack, &powered(&stack, 6.4), &small_cfg());
+        sim.advance(1e-3);
+        let dev = stack.device_layer_indices();
+        let max_of = |l: usize| {
+            sim.temps_c[l]
+                .iter()
+                .copied()
+                .fold(f64::MIN, f64::max)
+        };
+        let gap = (max_of(dev[0]) - max_of(dev[1])).abs();
+        assert!(gap < 1.0, "layer gap {gap} C");
+    }
+
+    #[test]
+    fn power_step_raises_temperature() {
+        let stack = LayerStack::planar_2d();
+        let lo = powered(&stack, 4.0);
+        let hi = powered(&stack, 12.0);
+        let mut sim = TransientSim::new(&stack, &lo, &small_cfg());
+        sim.advance(0.05);
+        let before = sim.peak_c();
+        sim.set_power(&hi);
+        sim.advance(0.05);
+        assert!(sim.peak_c() > before + 2.0);
+    }
+
+    #[test]
+    fn stable_step_is_positive_and_finite() {
+        let stack = LayerStack::tsv3d();
+        let sim = TransientSim::new(&stack, &powered(&stack, 6.4), &small_cfg());
+        let dt = sim.max_stable_step_s();
+        assert!(dt.is_finite() && dt > 0.0);
+    }
+}

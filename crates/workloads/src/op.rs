@@ -1,0 +1,111 @@
+//! Micro-operation types exchanged between the trace generators and the
+//! cycle-level simulator.
+
+/// Operation class, which determines the functional unit and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply (2 cycles in Table 9).
+    IntMul,
+    /// Integer divide (4 cycles).
+    IntDiv,
+    /// Floating-point add (2 cycles).
+    FpAdd,
+    /// Floating-point multiply (4 cycles).
+    FpMul,
+    /// Floating-point divide (8 cycles, non-pipelined).
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Barrier synchronisation (parallel traces only): the core stalls at
+    /// commit until all cores have reached barrier `id`.
+    Barrier,
+}
+
+impl OpKind {
+    /// Whether this is a memory operation.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+
+    /// Whether this op uses the floating-point pipes.
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv)
+    }
+
+    /// Sanity helper used by doctests.
+    pub fn is_valid(self) -> bool {
+        true
+    }
+}
+
+/// A decoded micro-operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroOp {
+    /// Program counter of the parent instruction.
+    pub pc: u64,
+    /// Operation class.
+    pub kind: OpKind,
+    /// Destination architectural register, if any (0..=31).
+    pub dst: Option<u8>,
+    /// Source architectural registers.
+    pub srcs: [Option<u8>; 2],
+    /// Effective address for memory ops.
+    pub addr: u64,
+    /// Whether a branch is actually taken (ground truth for the predictor).
+    pub taken: bool,
+    /// Branch target (for taken branches).
+    pub target: u64,
+    /// Requires the complex decoder (Section 4.1.2).
+    pub complex_decode: bool,
+    /// Barrier id for [`OpKind::Barrier`].
+    pub barrier_id: u64,
+    /// Store to (potentially) shared data — used by the coherence traffic
+    /// model in multicore runs.
+    pub shared: bool,
+}
+
+impl MicroOp {
+    /// A non-memory, non-branch op template.
+    pub fn alu(pc: u64, kind: OpKind, dst: u8, srcs: [Option<u8>; 2]) -> Self {
+        Self {
+            pc,
+            kind,
+            dst: Some(dst),
+            srcs,
+            addr: 0,
+            taken: false,
+            target: 0,
+            complex_decode: false,
+            barrier_id: 0,
+            shared: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_kind_classes() {
+        assert!(OpKind::Load.is_mem());
+        assert!(OpKind::Store.is_mem());
+        assert!(!OpKind::Branch.is_mem());
+        assert!(OpKind::FpMul.is_fp());
+        assert!(!OpKind::IntMul.is_fp());
+    }
+
+    #[test]
+    fn alu_template() {
+        let op = MicroOp::alu(0x40, OpKind::IntAlu, 3, [Some(1), None]);
+        assert_eq!(op.dst, Some(3));
+        assert_eq!(op.srcs[0], Some(1));
+        assert!(!op.taken);
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: partition a core's storage structures for monolithic 3D and
+//! derive the design frequencies, end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use m3d_sram::hetero::partition_hetero;
+use m3d_sram::model2d::analyze_2d;
+use m3d_sram::partition3d::best_partition;
+use m3d_sram::structures::StructureId;
+use m3d_tech::process::ProcessCorner;
+use m3d_tech::{TechnologyNode, ViaKind};
+
+fn main() {
+    let node = TechnologyNode::n22();
+
+    println!("== Partitioning the core's storage structures for M3D ==\n");
+    println!(
+        "{:<6} {:>10} {:>6} {:>9} {:>9} {:>9}   hetero (slow top layer)",
+        "struct", "2D access", "best", "latency", "energy", "area"
+    );
+    let mut worst_iso = f64::INFINITY;
+    let mut worst_het = f64::INFINITY;
+    for id in StructureId::ALL {
+        let spec = id.spec();
+        let base = analyze_2d(&spec, &node, ProcessCorner::bulk_hp());
+        let (strategy, _, r) = best_partition(&spec, &node, ViaKind::Miv);
+        let (h, hr) = partition_hetero(&spec, &node, ViaKind::Miv);
+        worst_iso = worst_iso.min(r.latency_pct);
+        worst_het = worst_het.min(hr.latency_pct);
+        println!(
+            "{:<6} {:>7.0} ps {:>6} {:>+8.0}% {:>+8.0}% {:>+8.0}%   {} b/t {}/{} x{:.1}: {:+.0}% lat",
+            id.label(),
+            base.metrics.access_s * 1e12,
+            strategy.abbrev(),
+            r.latency_pct,
+            r.energy_pct,
+            r.footprint_pct,
+            h.strategy.abbrev(),
+            h.bottom_share,
+            h.top_share,
+            h.top_upsize,
+            hr.latency_pct,
+        );
+    }
+
+    // Section 6.1: the cycle time follows the least-improved structure.
+    let base_f = 3.3;
+    println!("\n== Derived frequencies (base {base_f} GHz) ==");
+    println!(
+        "iso-layer M3D:    {:.2} GHz  (least-improved structure: {:+.0}%)",
+        base_f / (1.0 - worst_iso / 100.0),
+        worst_iso
+    );
+    println!(
+        "hetero-layer M3D: {:.2} GHz  (least-improved structure: {:+.0}%)",
+        base_f / (1.0 - worst_het / 100.0),
+        worst_het
+    );
+    println!("\nThe hetero-layer design recovers most of the iso-layer gain");
+    println!("despite its 17% slower top layer — the paper's core result.");
+}

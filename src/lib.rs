@@ -1,0 +1,49 @@
+//! # m3d — Designing Vertical Processors in Monolithic 3D
+//!
+//! A from-scratch Rust reproduction of Gopireddy & Torrellas, *Designing
+//! Vertical Processors in Monolithic 3D* (ISCA 2019): partitioning a
+//! processor's logic and storage structures across two monolithic-3D device
+//! layers, including the hetero-layer case where the sequentially-fabricated
+//! top layer is ~17% slower.
+//!
+//! The workspace implements every substrate the paper depends on:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`m3d_tech`] | Vias (MIV/TSV), processes, wires, thermal layer stacks |
+//! | [`m3d_sram`] | CACTI-like SRAM/CAM model + BP/WP/PP partitioning |
+//! | [`m3d_logic`] | Gate-level netlists, STA, slack-driven partitioning |
+//! | [`m3d_power`] | McPAT-style energy model, DVFS curve |
+//! | [`m3d_thermal`] | HotSpot-style layered grid solver |
+//! | [`m3d_uarch`] | Cycle-level OOO multicore simulator |
+//! | [`m3d_workloads`] | Synthetic SPEC2006 / SPLASH-2 / PARSEC traces |
+//! | [`m3d_core`] | The partition planner, Table 11 configs, experiments |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use m3d_sram::partition3d::{best_partition, Strategy};
+//! use m3d_sram::structures::StructureId;
+//! use m3d_tech::{TechnologyNode, ViaKind};
+//!
+//! // Partition the paper's 18-port register file for M3D.
+//! let node = TechnologyNode::n22();
+//! let (strategy, _, reduction) =
+//!     best_partition(&StructureId::Rf.spec(), &node, ViaKind::Miv);
+//! assert_eq!(strategy, Strategy::Port); // Table 6: PP wins for the RF
+//! assert!(reduction.latency_pct > 20.0);
+//! ```
+//!
+//! Run `cargo run --release -p m3d-bench --bin repro` to regenerate every
+//! table and figure; see `EXPERIMENTS.md` for paper-vs-measured numbers.
+
+#![warn(missing_docs)]
+
+pub use m3d_core as core_api;
+pub use m3d_logic as logic;
+pub use m3d_power as power;
+pub use m3d_sram as sram;
+pub use m3d_tech as tech;
+pub use m3d_thermal as thermal;
+pub use m3d_uarch as uarch;
+pub use m3d_workloads as workloads;
