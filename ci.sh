@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Minimal CI gate: build, test, lint — fully offline (no registry access).
+# Mirrors the tier-1 acceptance criteria in ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release =="
+cargo build --release --workspace --offline
+
+echo "== cargo test -q =="
+cargo test -q --workspace --offline
+
+echo "== cargo clippy -- -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== ci.sh: all checks passed =="

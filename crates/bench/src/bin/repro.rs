@@ -15,6 +15,7 @@ use m3d_core::experiments::{
     table3_4_5_partitioning as t345, table6_best, table7_techniques, table8_hetero, RunScale,
 };
 use m3d_core::planner::DesignSpace;
+use m3d_core::report::thermal_stats_text;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +63,7 @@ fn main() {
     if want("section5") {
         println!("{}", section5_alternatives::enlarged_text());
         println!("{}", section5_alternatives::lp_top_text());
+        println!("{}", section5_alternatives::headroom_text());
     }
 
     let needs_space = ["table6", "table8", "table11", "fig6", "fig7", "fig8", "fig9", "fig10"]
@@ -80,6 +82,17 @@ fn main() {
     }
     if want("table11") {
         println!("{}", table11_configs::table11_text(&space));
+        let (feas, stats) = space.thermal_feasibility();
+        println!("Thermal feasibility at nominal power (Tjmax {} C):", m3d_core::planner::TJMAX_C);
+        for f in &feas {
+            println!(
+                "  {:<14} {:>6.1} C  {}",
+                f.design.label(),
+                f.peak_c,
+                if f.feasible { "ok" } else { "EXCEEDS Tjmax" }
+            );
+        }
+        println!("{}\n", thermal_stats_text("feasibility", &stats));
     }
     if want("fig6") || want("fig7") {
         eprintln!("[repro] running single-core study (21 apps x 6 designs)...");
@@ -94,17 +107,26 @@ fn main() {
     if want("fig8") {
         eprintln!("[repro] running thermal study...");
         let apps = if quick { 6 } else { 21 };
-        let rows = fig8_thermal::run(&space, scale, apps);
+        let t0 = std::time::Instant::now();
+        let (rows, stats) = fig8_thermal::run_with_stats(&space, scale, apps);
+        let wall = t0.elapsed().as_secs_f64();
         println!("{}", fig8_thermal::fig8_text(&rows));
+        println!("{}", thermal_stats_text("fig8", &stats));
+        println!("[fig8] experiment wall time: {wall:.2} s\n");
     }
     if want("fig9") || want("fig10") {
         eprintln!("[repro] running multicore study (15 apps x 5 designs)...");
-        let study = fig9_fig10_multicore::run(&space, scale);
+        let t0 = std::time::Instant::now();
+        let (study, stats) = fig9_fig10_multicore::run_with_stats(&space, scale);
+        let wall = t0.elapsed().as_secs_f64();
         if want("fig9") {
             println!("{}", fig9_fig10_multicore::fig9_text(&study));
         }
         if want("fig10") {
             println!("{}", fig9_fig10_multicore::fig10_text(&study));
         }
+        println!("{}", fig9_fig10_multicore::thermal_text(&study));
+        println!("{}", thermal_stats_text("fig9/fig10", &stats));
+        println!("[fig9/fig10] experiment wall time: {wall:.2} s\n");
     }
 }

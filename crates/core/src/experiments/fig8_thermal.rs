@@ -6,23 +6,34 @@
 //! grid for the design's layer stack. The 3D designs fold the floorplan to
 //! 50% footprint (the paper's conservative assumption) and split each
 //! block's power across the two device layers.
+//!
+//! The three designs' [`ThermalModel`]s are assembled once up front (via the
+//! process-wide model cache) and shared by every application; applications
+//! are distributed over worker threads, and within a worker each design's
+//! solve warm-starts from the previous application's temperature field —
+//! successive SPEC apps produce similar fields, so this typically cuts the
+//! sweep count severalfold.
 
 use crate::configs::DesignPoint;
-use crate::experiments::RunScale;
+use crate::experiments::{par_map_with, RunScale};
 use crate::planner::DesignSpace;
 use crate::report::Table;
 use m3d_power::model::CorePowerModel;
 use m3d_thermal::floorplan::Floorplan;
-use m3d_thermal::solver::{solve, LayerPower, Solution, ThermalConfig};
+use m3d_thermal::model::{shared_cache, SolveStatsSummary, ThermalModel};
+use m3d_thermal::solver::{Solution, ThermalConfig};
 use m3d_tech::layers::LayerStack;
 use m3d_uarch::core::Core;
 use m3d_workloads::spec::spec2006;
 use m3d_workloads::TraceGenerator;
+use std::sync::Arc;
 
 /// 2D core area at 22 nm, m² (Ryzen-class core scaled).
 pub const CORE_AREA_M2: f64 = 9.0e-6;
 /// Share of each block's power dissipated in the bottom (fast) layer.
 const BOTTOM_POWER_SHARE: f64 = 0.55;
+/// Worker-thread cap for the per-application fan-out.
+const MAX_APP_THREADS: usize = 8;
 
 /// One application's peak temperatures.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,14 +50,40 @@ pub struct ThermalRow {
     pub hottest_block: String,
 }
 
-fn solve_design(
-    stack: &LayerStack,
-    blocks: &[(&'static str, f64)],
-    folded: bool,
-    cfg: &ThermalConfig,
-) -> Solution {
-    if folded {
-        let fp = Floorplan::ryzen_like(CORE_AREA_M2).scaled(0.5);
+/// The three assembled per-design models the study shares across apps.
+pub(crate) struct DesignModels {
+    /// Unfolded 2D floorplan (also the folded one's source of block names).
+    pub(crate) fp_2d: Floorplan,
+    /// Folded (half-footprint) floorplan used by the 3D designs.
+    pub(crate) fp_3d: Floorplan,
+    /// (model, came-from-cache) per design: Base, TSV3D, M3D-Het.
+    pub(crate) base: (Arc<ThermalModel>, bool),
+    pub(crate) tsv: (Arc<ThermalModel>, bool),
+    pub(crate) het: (Arc<ThermalModel>, bool),
+}
+
+impl DesignModels {
+    /// Assemble (or fetch from the shared cache) all three design models.
+    pub(crate) fn build(cfg: &ThermalConfig) -> Self {
+        let fp_2d = Floorplan::ryzen_like(CORE_AREA_M2);
+        let fp_3d = fp_2d.scaled(0.5);
+        let cache = shared_cache();
+        let one = |stack: &LayerStack, fps: &[Floorplan]| {
+            cache
+                .get_or_build(stack, fps, cfg)
+                .expect("default thermal config and ryzen floorplan are valid")
+        };
+        Self {
+            base: one(&LayerStack::planar_2d(), std::slice::from_ref(&fp_2d)),
+            tsv: one(&LayerStack::tsv3d(), &[fp_3d.clone(), fp_3d.clone()]),
+            het: one(&LayerStack::m3d(), &[fp_3d.clone(), fp_3d.clone()]),
+            fp_2d,
+            fp_3d,
+        }
+    }
+
+    /// Split named block powers into the folded bottom/top power vectors.
+    pub(crate) fn folded_powers(&self, blocks: &[(&str, f64)]) -> Vec<Vec<f64>> {
         let bottom: Vec<(&str, f64)> = blocks
             .iter()
             .map(|&(n, w)| (n, w * BOTTOM_POWER_SHARE))
@@ -55,54 +92,75 @@ fn solve_design(
             .iter()
             .map(|&(n, w)| (n, w * (1.0 - BOTTOM_POWER_SHARE)))
             .collect();
-        let layers = [
-            LayerPower {
-                floorplan: fp.clone(),
-                power_w: fp.power_from_named(&bottom),
-            },
-            LayerPower {
-                floorplan: fp.clone(),
-                power_w: fp.power_from_named(&top),
-            },
-        ];
-        solve(stack, &layers, cfg)
-    } else {
-        let fp = Floorplan::ryzen_like(CORE_AREA_M2);
-        let power = fp.power_from_named(blocks);
-        solve(
-            stack,
-            &[LayerPower {
-                floorplan: fp,
-                power_w: power,
-            }],
-            cfg,
-        )
+        vec![
+            self.fp_3d.power_from_named(&bottom),
+            self.fp_3d.power_from_named(&top),
+        ]
     }
+}
+
+/// Per-worker warm-start fields, one per design.
+#[derive(Default)]
+struct WarmFields {
+    base: Option<Solution>,
+    tsv: Option<Solution>,
+    het: Option<Solution>,
 }
 
 /// Run the thermal study over a subset (or all) of SPEC.
 pub fn run(space: &DesignSpace, scale: RunScale, max_apps: usize) -> Vec<ThermalRow> {
+    run_with_stats(space, scale, max_apps).0
+}
+
+/// Like [`run`], but also returns the accumulated solver statistics
+/// (iterations, warm starts, cache hits, wall time) for the `repro` report.
+pub fn run_with_stats(
+    space: &DesignSpace,
+    scale: RunScale,
+    max_apps: usize,
+) -> (Vec<ThermalRow>, SolveStatsSummary) {
     let model = CorePowerModel::new_22nm();
     let tcfg = ThermalConfig::default();
-    spec2006()
-        .iter()
-        .take(max_apps)
-        .map(|app| {
-            let row_for = |d: DesignPoint| {
+    let designs = DesignModels::build(&tcfg);
+    let apps: Vec<_> = spec2006().into_iter().take(max_apps).collect();
+
+    let results = par_map_with(
+        &apps,
+        MAX_APP_THREADS,
+        WarmFields::default,
+        |warm, _, app| {
+            let powers_for = |d: DesignPoint| {
                 let gen = TraceGenerator::new(app, 0xF16, 0, 1);
                 let mut core = Core::new(0, d.core_config(), gen);
                 let _ = core.run(scale.warmup);
                 let r = core.run(scale.measure);
                 model.block_powers(&r, &d.power_config(space))
             };
-            let base_blocks = row_for(DesignPoint::Base);
-            let tsv_blocks = row_for(DesignPoint::Tsv3d);
-            let het_blocks = row_for(DesignPoint::M3dHet);
+            let base_blocks = powers_for(DesignPoint::Base);
+            let tsv_blocks = powers_for(DesignPoint::Tsv3d);
+            let het_blocks = powers_for(DesignPoint::M3dHet);
 
-            let base = solve_design(&LayerStack::planar_2d(), &base_blocks, false, &tcfg);
-            let tsv = solve_design(&LayerStack::tsv3d(), &tsv_blocks, true, &tcfg);
-            let het = solve_design(&LayerStack::m3d(), &het_blocks, true, &tcfg);
-            ThermalRow {
+            let mut stats = SolveStatsSummary::default();
+            let mut run_one = |(m, cached): &(Arc<ThermalModel>, bool),
+                               powers: Vec<Vec<f64>>,
+                               prev: &mut Option<Solution>| {
+                let (sol, mut s) = m
+                    .solve_from(&powers, prev.as_ref())
+                    .expect("power vectors were built from the model's floorplans");
+                s.assembly_cache_hit = *cached || prev.is_some();
+                stats.absorb(&s);
+                *prev = Some(sol.clone());
+                sol
+            };
+            let base = run_one(
+                &designs.base,
+                vec![designs.fp_2d.power_from_named(&base_blocks)],
+                &mut warm.base,
+            );
+            let tsv = run_one(&designs.tsv, designs.folded_powers(&tsv_blocks), &mut warm.tsv);
+            let het = run_one(&designs.het, designs.folded_powers(&het_blocks), &mut warm.het);
+
+            let row = ThermalRow {
                 app: app.name.clone(),
                 base_c: base.peak_c,
                 tsv3d_c: tsv.peak_c,
@@ -111,9 +169,20 @@ pub fn run(space: &DesignSpace, scale: RunScale, max_apps: usize) -> Vec<Thermal
                     .hottest_block()
                     .map(|(n, _)| n.to_owned())
                     .unwrap_or_default(),
-            }
+            };
+            (row, stats)
+        },
+    );
+
+    let mut total = SolveStatsSummary::default();
+    let rows = results
+        .into_iter()
+        .map(|(row, s)| {
+            total.merge(&s);
+            row
         })
-        .collect()
+        .collect();
+    (rows, total)
 }
 
 /// Render Figure 8.
@@ -188,5 +257,20 @@ mod tests {
     #[test]
     fn renders() {
         assert!(fig8_text(rows()).contains("Figure 8"));
+    }
+
+    #[test]
+    fn stats_reflect_model_reuse() {
+        // The second run of the same study must see the assembled models in
+        // the shared cache, and warm starts must kick in past the first app
+        // of each worker chunk.
+        let space = DesignSpace::compute();
+        let (_, first) = run_with_stats(&space, RunScale::quick(), 3);
+        let (rows2, second) = run_with_stats(&space, RunScale::quick(), 3);
+        assert_eq!(rows2.len(), 3);
+        assert_eq!(first.solves, 9, "3 apps x 3 designs");
+        assert!(second.cache_hits >= second.solves.saturating_sub(3));
+        assert_eq!(second.non_converged, 0);
+        assert!(second.max_residual_k < ThermalConfig::default().tolerance_k);
     }
 }

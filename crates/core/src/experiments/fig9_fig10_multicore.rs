@@ -7,15 +7,29 @@
 //! clock — the paper reports its speed-up for the same *total* work, which
 //! the study captures by normalising completion time per unit of work
 //! (see [`ParallelRow::speedup`]).
+//!
+//! Each design also gets a per-core steady-state thermal solve (peak die
+//! temperature at the application's measured per-core power), reusing the
+//! fig8 [`ThermalModel`]s from the shared cache. Applications fan out over
+//! worker threads; within a worker, each design's solve warm-starts from
+//! the previous application's field.
+//!
+//! [`ThermalModel`]: m3d_thermal::model::ThermalModel
 
 use crate::configs::MulticoreDesign;
-use crate::experiments::RunScale;
+use crate::experiments::fig8_thermal::DesignModels;
+use crate::experiments::{par_map_with, RunScale};
 use crate::planner::DesignSpace;
 use crate::report::{ratio, Table};
 use m3d_power::model::CorePowerModel;
+use m3d_thermal::model::SolveStatsSummary;
+use m3d_thermal::solver::{Solution, ThermalConfig};
 use m3d_uarch::multicore::Multicore;
 use m3d_uarch::stats::PerfResult;
 use m3d_workloads::parallel::splash_parsec;
+
+/// Worker-thread cap for the per-application fan-out.
+const MAX_APP_THREADS: usize = 8;
 
 /// Results for one parallel application.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +43,8 @@ pub struct ParallelRow {
     pub energy: Vec<f64>,
     /// Average chip power per design, watts.
     pub power_w: Vec<f64>,
+    /// Peak per-core die temperature per design, °C.
+    pub peak_c: Vec<f64>,
 }
 
 /// The Figure 9/10 study.
@@ -52,6 +68,11 @@ impl MulticoreStudy {
     /// Average power per design, watts.
     pub fn average_power(&self) -> Vec<f64> {
         avg(self.rows.iter().map(|r| &r.power_w))
+    }
+
+    /// Average peak die temperature per design, °C.
+    pub fn average_peak_c(&self) -> Vec<f64> {
+        avg(self.rows.iter().map(|r| &r.peak_c))
     }
 }
 
@@ -77,10 +98,22 @@ fn time_per_work(r: &PerfResult) -> f64 {
 
 /// Run the full multicore study.
 pub fn run(space: &DesignSpace, scale: RunScale) -> MulticoreStudy {
+    run_with_stats(space, scale).0
+}
+
+/// Like [`run`], but also returns the accumulated thermal-solver statistics
+/// for the `repro` report.
+pub fn run_with_stats(space: &DesignSpace, scale: RunScale) -> (MulticoreStudy, SolveStatsSummary) {
     let model = CorePowerModel::new_22nm();
-    let rows = splash_parsec()
-        .iter()
-        .map(|app| {
+    let tcfg = ThermalConfig::default();
+    let designs = DesignModels::build(&tcfg);
+    let apps: Vec<_> = splash_parsec();
+
+    let results = par_map_with(
+        &apps,
+        MAX_APP_THREADS,
+        || vec![None::<Solution>; MulticoreDesign::ALL.len()],
+        |warm, _, app| {
             let results: Vec<(MulticoreDesign, PerfResult)> = MulticoreDesign::ALL
                 .iter()
                 .map(|&d| {
@@ -97,7 +130,48 @@ pub fn run(space: &DesignSpace, scale: RunScale) -> MulticoreStudy {
                 // Energy per unit work of the Base design.
                 breakdowns[0].total_j() / results[0].1.instructions as f64
             });
-            ParallelRow {
+
+            // Per-core thermal check: uniform per-core power over the fig8
+            // floorplans, on the design's stack, warm-started per design.
+            let mut stats = SolveStatsSummary::default();
+            let peak_c: Vec<f64> = MulticoreDesign::ALL
+                .iter()
+                .zip(&breakdowns)
+                .zip(warm.iter_mut())
+                .map(|((&d, b), prev)| {
+                    let core_w = b.average_power_w() / d.n_cores() as f64;
+                    let ((m, cached), powers) = match d {
+                        MulticoreDesign::Base4 => (
+                            &designs.base,
+                            vec![designs.fp_2d.uniform_power(core_w)],
+                        ),
+                        MulticoreDesign::Tsv3d4 => (
+                            &designs.tsv,
+                            vec![
+                                designs.fp_3d.uniform_power(core_w * 0.55),
+                                designs.fp_3d.uniform_power(core_w * 0.45),
+                            ],
+                        ),
+                        _ => (
+                            &designs.het,
+                            vec![
+                                designs.fp_3d.uniform_power(core_w * 0.55),
+                                designs.fp_3d.uniform_power(core_w * 0.45),
+                            ],
+                        ),
+                    };
+                    let (sol, mut s) = m
+                        .solve_from(&powers, prev.as_ref())
+                        .expect("uniform powers match the model floorplans");
+                    s.assembly_cache_hit = *cached || prev.is_some();
+                    stats.absorb(&s);
+                    let peak = sol.peak_c;
+                    *prev = Some(sol);
+                    peak
+                })
+                .collect();
+
+            let row = ParallelRow {
                 app: app.name.clone(),
                 speedup: results
                     .iter()
@@ -109,10 +183,21 @@ pub fn run(space: &DesignSpace, scale: RunScale) -> MulticoreStudy {
                     .map(|(b, (_, r))| (b.total_j() / r.instructions as f64) / base_e)
                     .collect(),
                 power_w: breakdowns.iter().map(|b| b.average_power_w()).collect(),
-            }
+                peak_c,
+            };
+            (row, stats)
+        },
+    );
+
+    let mut total = SolveStatsSummary::default();
+    let rows = results
+        .into_iter()
+        .map(|(row, s)| {
+            total.merge(&s);
+            row
         })
         .collect();
-    MulticoreStudy { rows }
+    (MulticoreStudy { rows }, total)
 }
 
 fn render(
@@ -152,6 +237,16 @@ pub fn fig10_text(study: &MulticoreStudy) -> String {
         |r| &r.energy,
         study.average_energy(),
         "Figure 10: energy of multicore M3D designs normalised to 4-core Base",
+    )
+}
+
+/// Render the per-design thermal check that rides along with Figure 9/10.
+pub fn thermal_text(study: &MulticoreStudy) -> String {
+    render(
+        study,
+        |r| &r.peak_c,
+        study.average_peak_c(),
+        "Multicore thermal check: peak per-core die temperature (C)",
     )
 }
 
@@ -216,8 +311,22 @@ mod tests {
     }
 
     #[test]
+    fn thermal_check_is_plausible_and_ranks_tsv_hottest() {
+        // TSV3D's thick bonded die between the hot layer and the sink makes
+        // it the thermal outlier; everything stays above ambient.
+        let avg = study().average_peak_c();
+        for (d, t) in MulticoreDesign::ALL.iter().zip(&avg) {
+            assert!(*t > 45.0 && *t < 130.0, "{d}: {t} C");
+        }
+        let tsv = avg[idx(MulticoreDesign::Tsv3d4)];
+        let het = avg[idx(MulticoreDesign::M3dHet4)];
+        assert!(tsv > het, "tsv {tsv} vs het {het}");
+    }
+
+    #[test]
     fn renders() {
         assert!(fig9_text(study()).contains("Figure 9"));
         assert!(fig10_text(study()).contains("Figure 10"));
+        assert!(thermal_text(study()).contains("thermal check"));
     }
 }

@@ -49,3 +49,109 @@ impl Default for RunScale {
         Self::full()
     }
 }
+
+/// Map `f` over `items` on scoped worker threads, preserving input order.
+///
+/// Items are dealt to workers in contiguous chunks, and each worker carries
+/// a private state value (`init()`) across its chunk — the thermal
+/// experiments use this to warm-start each solve from the previous
+/// application's temperature field. `f` receives `(&mut state, index,
+/// item)`. With one item (or one core) this degrades to a plain serial map
+/// with no threads spawned.
+pub(crate) fn par_map_with<T, R, S>(
+    items: &[T],
+    max_threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(max_threads)
+        .min(items.len())
+        .max(1);
+    if threads <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
+    }
+    let n = items.len();
+    let mut out: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let range = (w * n / threads)..((w + 1) * n / threads);
+                let (f, init) = (&f, &init);
+                scope.spawn(move || {
+                    let mut state = init();
+                    let chunk: Vec<R> = range
+                        .clone()
+                        .map(|i| f(&mut state, i, &items[i]))
+                        .collect();
+                    (range.start, chunk)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
+    });
+    out.sort_by_key(|(start, _)| *start);
+    out.into_iter().flat_map(|(_, chunk)| chunk).collect()
+}
+
+#[cfg(test)]
+mod par_tests {
+    use super::par_map_with;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..37).collect();
+        let doubled = par_map_with(
+            &items,
+            8,
+            || (),
+            |_, i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            },
+        );
+        assert_eq!(doubled, (0..37).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_fallback_matches() {
+        let items = vec![1, 2, 3];
+        assert_eq!(
+            par_map_with(&items, 1, || (), |_, _, &x| x + 1),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn worker_state_persists_within_a_chunk() {
+        // Each worker's state counts the items it saw; the total over all
+        // workers must equal the item count.
+        let items: Vec<usize> = (0..24).collect();
+        let counts = par_map_with(
+            &items,
+            4,
+            || 0usize,
+            |seen, _, _| {
+                *seen += 1;
+                *seen
+            },
+        );
+        // Counts restart at 1 at each chunk boundary and are contiguous
+        // within a chunk.
+        assert!(counts.iter().filter(|&&c| c == 1).count() >= 1);
+        assert_eq!(counts.len(), 24);
+    }
+}

@@ -8,8 +8,11 @@
 //!    the hetero techniques keep M3D-Het performance while cutting energy
 //!    further — the paper reports ~9 percentage points over M3D-Het.
 
+use crate::experiments::fig8_thermal::DesignModels;
 use crate::report::Table;
 use m3d_sram::hetero::partition_hetero_with;
+use m3d_thermal::model::SolveStatsSummary;
+use m3d_thermal::solver::{Solution, ThermalConfig};
 use m3d_sram::model2d::analyze_2d;
 use m3d_sram::partition3d::{best_partition, Strategy};
 use m3d_sram::spec::ArraySpec;
@@ -182,6 +185,88 @@ pub fn lp_top_text() -> String {
     )
 }
 
+/// One step of the thermal-headroom sweep: the same core power applied to
+/// the Base (2D) and M3D-Het stacks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadroomRow {
+    /// Total core power, watts.
+    pub power_w: f64,
+    /// Peak Base (2D) die temperature, °C.
+    pub base_c: f64,
+    /// Peak M3D-Het die temperature, °C.
+    pub m3d_het_c: f64,
+}
+
+/// Sweep core power over a DVFS-like range and report peak temperature of
+/// the Base and M3D-Het stacks — the Section 5 question "how much thermal
+/// headroom do the alternatives leave for higher frequency or more work?".
+///
+/// This is the warm-start showcase: both designs' models are assembled once
+/// (via the shared cache) and each step's solve starts from the previous
+/// step's temperature field, so the whole sweep costs a few full
+/// convergences' worth of iterations.
+pub fn thermal_headroom() -> (Vec<HeadroomRow>, SolveStatsSummary) {
+    let tcfg = ThermalConfig::default();
+    let designs = DesignModels::build(&tcfg);
+    let mut stats = SolveStatsSummary::default();
+    let mut warm_base: Option<Solution> = None;
+    let mut warm_het: Option<Solution> = None;
+    let rows = (0..10)
+        .map(|step| {
+            let power_w = 3.0 + step as f64;
+            let mut run_one = |(m, cached): &(std::sync::Arc<m3d_thermal::model::ThermalModel>, bool),
+                               powers: Vec<Vec<f64>>,
+                               prev: &mut Option<Solution>| {
+                let (sol, mut s) = m
+                    .solve_from(&powers, prev.as_ref())
+                    .expect("uniform powers match the model floorplans");
+                s.assembly_cache_hit = *cached || prev.is_some();
+                stats.absorb(&s);
+                let peak = sol.peak_c;
+                *prev = Some(sol);
+                peak
+            };
+            let base_c = run_one(
+                &designs.base,
+                vec![designs.fp_2d.uniform_power(power_w)],
+                &mut warm_base,
+            );
+            let m3d_het_c = run_one(
+                &designs.het,
+                vec![
+                    designs.fp_3d.uniform_power(power_w * 0.55),
+                    designs.fp_3d.uniform_power(power_w * 0.45),
+                ],
+                &mut warm_het,
+            );
+            HeadroomRow {
+                power_w,
+                base_c,
+                m3d_het_c,
+            }
+        })
+        .collect();
+    (rows, stats)
+}
+
+/// Render the thermal-headroom sweep.
+pub fn headroom_text() -> String {
+    let (rows, stats) = thermal_headroom();
+    let mut t = Table::new(["Core power", "Base (C)", "M3D-Het (C)", "Delta"]);
+    for r in &rows {
+        t.row([
+            format!("{:.0} W", r.power_w),
+            format!("{:.1}", r.base_c),
+            format!("{:.1}", r.m3d_het_c),
+            format!("{:+.1}", r.m3d_het_c - r.base_c),
+        ]);
+    }
+    format!(
+        "Section 5: thermal headroom sweep (Base vs M3D-Het, folded floorplan)\n{}[thermal solver] {stats}\n",
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,5 +311,20 @@ mod tests {
     fn renders() {
         assert!(enlarged_text().contains("Section 5"));
         assert!(lp_top_text().contains("LP"));
+        assert!(headroom_text().contains("headroom"));
+    }
+
+    #[test]
+    fn headroom_sweep_is_monotone_and_warm_started() {
+        let (rows, stats) = thermal_headroom();
+        assert_eq!(rows.len(), 10);
+        for pair in rows.windows(2) {
+            assert!(pair[1].base_c > pair[0].base_c, "{pair:?}");
+            assert!(pair[1].m3d_het_c > pair[0].m3d_het_c, "{pair:?}");
+        }
+        // Every solve but the first per design rides the previous field.
+        assert_eq!(stats.solves, 20);
+        assert!(stats.warm_starts >= 18, "warm starts {}", stats.warm_starts);
+        assert_eq!(stats.non_converged, 0);
     }
 }

@@ -1,6 +1,7 @@
 //! The partition planner: apply the paper's methodology to every core
 //! storage structure and derive the design frequencies (Sections 3–4, 6.1).
 
+use crate::configs::DesignPoint;
 use m3d_sram::hetero::{partition_hetero, HeteroPartitioned};
 use m3d_sram::metrics::Reduction;
 use m3d_sram::model2d::analyze_2d;
@@ -9,12 +10,19 @@ use m3d_sram::structures::StructureId;
 use m3d_tech::node::TechnologyNode;
 use m3d_tech::process::ProcessCorner;
 use m3d_tech::via::ViaKind;
+use m3d_thermal::model::SolveStatsSummary;
+use m3d_thermal::solver::{Solution, ThermalConfig};
 
 /// Baseline 2D core frequency, GHz (Table 11, set by the RF access time).
 pub const BASE_FREQ_GHZ: f64 = 3.3;
 /// Frequency loss of the naive hetero design, from the AES-block
 /// measurement of Shi et al. (Section 6.1).
 pub const HET_NAIVE_LOSS: f64 = 0.09;
+/// Junction temperature limit used by the feasibility check, °C.
+pub const TJMAX_C: f64 = 105.0;
+/// Nominal Base-core power at 3.3 GHz used by the feasibility estimate,
+/// watts (the paper's measured SPEC average).
+const NOMINAL_CORE_W: f64 = 6.4;
 
 /// One structure's planning outcome for a given via technology.
 #[derive(Debug, Clone, PartialEq)]
@@ -169,6 +177,76 @@ impl DesignSpace {
             .find(|p| p.structure == id)
             .expect("all structures planned")
     }
+
+    /// Estimate whether each design point stays under [`TJMAX_C`] at its
+    /// derived frequency, assuming nominal Base power scaled linearly with
+    /// frequency (dynamic-dominated cores) and the fig8 folding assumptions
+    /// for the 3D stacks.
+    ///
+    /// The per-design [`m3d_thermal::model::ThermalModel`]s come from the
+    /// shared cache and successive designs on the same stack warm-start
+    /// from each other, so the whole check costs little more than one
+    /// solve per stack.
+    pub fn thermal_feasibility(&self) -> (Vec<ThermalFeasibility>, SolveStatsSummary) {
+        let tcfg = ThermalConfig::default();
+        let designs = crate::experiments::fig8_thermal::DesignModels::build(&tcfg);
+        let mut stats = SolveStatsSummary::default();
+        let mut warm: [Option<Solution>; 3] = [None, None, None];
+        let rows = DesignPoint::ALL
+            .iter()
+            .map(|&d| {
+                let core_w =
+                    NOMINAL_CORE_W * d.derived_frequency_ghz(self) / BASE_FREQ_GHZ;
+                let (slot, (model, cached), powers) = match d {
+                    DesignPoint::Base => (
+                        0,
+                        &designs.base,
+                        vec![designs.fp_2d.uniform_power(core_w)],
+                    ),
+                    DesignPoint::Tsv3d => (
+                        1,
+                        &designs.tsv,
+                        vec![
+                            designs.fp_3d.uniform_power(core_w * 0.55),
+                            designs.fp_3d.uniform_power(core_w * 0.45),
+                        ],
+                    ),
+                    _ => (
+                        2,
+                        &designs.het,
+                        vec![
+                            designs.fp_3d.uniform_power(core_w * 0.55),
+                            designs.fp_3d.uniform_power(core_w * 0.45),
+                        ],
+                    ),
+                };
+                let (sol, mut s) = model
+                    .solve_from(&powers, warm[slot].as_ref())
+                    .expect("uniform powers match the model floorplans");
+                s.assembly_cache_hit = *cached || warm[slot].is_some();
+                stats.absorb(&s);
+                let peak_c = sol.peak_c;
+                warm[slot] = Some(sol);
+                ThermalFeasibility {
+                    design: d,
+                    peak_c,
+                    feasible: peak_c <= TJMAX_C,
+                }
+            })
+            .collect();
+        (rows, stats)
+    }
+}
+
+/// One design point's thermal-feasibility estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalFeasibility {
+    /// The design point.
+    pub design: DesignPoint,
+    /// Estimated peak die temperature at nominal power, °C.
+    pub peak_c: f64,
+    /// Whether the peak stays at or below [`TJMAX_C`].
+    pub feasible: bool,
 }
 
 #[cfg(test)]
@@ -248,6 +326,30 @@ mod tests {
         let d = space().derived;
         let gap = (d.iso_ghz - d.het_ghz) / d.iso_ghz;
         assert!(gap < 0.08, "hetero loses {}% of iso", gap * 100.0);
+    }
+
+    #[test]
+    fn single_core_designs_are_thermally_feasible() {
+        // Paper Figure 8: the single-core designs all stay under Tjmax at
+        // nominal power — TSV3D only approaches the limit at the multicore
+        // power levels. M3D-Het must run cooler than TSV3D.
+        let (rows, stats) = space().thermal_feasibility();
+        assert_eq!(rows.len(), DesignPoint::ALL.len());
+        let peak_of = |d: DesignPoint| {
+            rows.iter()
+                .find(|r| r.design == d)
+                .expect("all designs checked")
+                .peak_c
+        };
+        for r in &rows {
+            assert!(r.peak_c > 45.0 && r.peak_c < 130.0, "{:?}", r);
+        }
+        assert!(
+            rows.iter().find(|r| r.design == DesignPoint::Base).expect("base").feasible
+        );
+        assert!(peak_of(DesignPoint::Tsv3d) > peak_of(DesignPoint::M3dHet));
+        assert_eq!(stats.solves, DesignPoint::ALL.len());
+        assert_eq!(stats.non_converged, 0);
     }
 
     #[test]

@@ -67,6 +67,14 @@ pub fn ratio(v: f64) -> String {
     format!("{v:.2}")
 }
 
+/// Render an experiment's accumulated thermal-solver statistics as a single
+/// labelled line for the `repro` report, so solver performance regressions
+/// (iteration blow-ups, lost cache hits, missing warm starts) are visible
+/// in ordinary experiment output.
+pub fn thermal_stats_text(label: &str, s: &m3d_thermal::model::SolveStatsSummary) -> String {
+    format!("[{label}] thermal solver: {s}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +103,23 @@ mod tests {
         assert_eq!(pct(41.0), "+41.0%");
         assert_eq!(pct(-3.25), "-3.2%");
         assert_eq!(ratio(1.256), "1.26");
+    }
+
+    #[test]
+    fn thermal_stats_line_carries_label_and_counts() {
+        let mut s = m3d_thermal::model::SolveStatsSummary::default();
+        s.absorb(&m3d_thermal::model::SolveStats {
+            iterations: 42,
+            residual_k: 5.0e-5,
+            converged: true,
+            warm_start: true,
+            threads: 4,
+            assembly_cache_hit: true,
+            wall_s: 0.001,
+        });
+        let line = thermal_stats_text("fig8", &s);
+        assert!(line.contains("[fig8]"));
+        assert!(line.contains("1 solves"));
+        assert!(line.contains("42 sweeps"));
     }
 }

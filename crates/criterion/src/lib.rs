@@ -1,0 +1,206 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build sandbox has no crates.io access, so this workspace vendors a
+//! minimal wall-clock benchmark harness exposing the criterion 0.5 API
+//! subset its benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`].
+//!
+//! Instead of criterion's statistical analysis, each benchmark runs one
+//! warm-up call plus `sample_size` timed iterations and prints min / median /
+//! mean wall time. That is enough to compare hot paths release-to-release in
+//! an offline environment.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Default timed iterations per benchmark when the group does not override
+/// it. Far smaller than real criterion's 100: the workspace's benches wrap
+/// whole experiment drivers, and an offline smoke-timing pass is the goal.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(&id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Start a named group of benchmarks sharing a sample size.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks (prefixes their names, shares sample size).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a single named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    name: String,
+    sample_size: usize,
+    reported: bool,
+}
+
+impl Bencher {
+    /// Time `sample_size` calls of `routine` (after one warm-up call) and
+    /// print min / median / mean wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(routine());
+                t0.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "bench {:<44} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+            self.name,
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len(),
+        );
+        self.reported = true;
+    }
+}
+
+fn run_bench<F: FnOnce(&mut Bencher)>(name: &str, sample_size: usize, f: F) {
+    let mut b = Bencher {
+        name: name.to_owned(),
+        sample_size,
+        reported: false,
+    };
+    f(&mut b);
+    if !b.reported {
+        println!("bench {name:<44} (no iter() call)");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Define a benchmark group function that runs each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        c.bench_function("shim_smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        // One warm-up + DEFAULT_SAMPLE_SIZE timed calls.
+        assert_eq!(calls, DEFAULT_SAMPLE_SIZE + 1);
+    }
+
+    #[test]
+    fn groups_apply_sample_size() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert!(fmt_duration(Duration::from_nanos(5)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).contains(" s"));
+    }
+}

@@ -1,4 +1,4 @@
-//! Steady-state 3D grid solver (the HotSpot grid model).
+//! One-shot steady-state entry point (the HotSpot grid model).
 //!
 //! Each material layer of the stack becomes one grid layer of `nx × ny`
 //! cells. Conductances:
@@ -11,9 +11,18 @@
 //!   the convection resistance, distributed over its cells.
 //!
 //! Power is injected in device-layer cells from the floorplan power maps.
-//! Successive over-relaxation iterates `T = (Σ g·T_neighbour + P) / Σ g`.
+//! The steady state is found by red–black successive over-relaxation,
+//! iterating `T += ω·((Σ g·T_neighbour + P) / Σ g − T)`.
+//!
+//! [`solve`] is a convenience wrapper over [`crate::model::ThermalModel`]:
+//! it fetches the assembled model from the process-wide
+//! [`crate::model::shared_cache`] (so repeat calls for the same design skip
+//! assembly) and runs one cold-start solve. Callers that solve many power
+//! vectors against one design, need warm starts, or want
+//! [`crate::model::SolveStats`] should hold a `ThermalModel` directly.
 
 use crate::floorplan::Floorplan;
+use crate::model::{shared_cache, SolveStats, ThermalError};
 use m3d_tech::layers::{LayerStack, HEAT_SINK_TO_AMBIENT_K_PER_W};
 
 /// Power injected into one device layer.
@@ -33,21 +42,36 @@ impl LayerPower {
 }
 
 /// Solver configuration.
+///
+/// All fields have physically meaningful ranges, checked by [`validate`]
+/// (strict, used by [`crate::model::ThermalModel::new`]) or coerced by
+/// [`sanitized`] (clamping, used by the panic-free paths). In particular
+/// `sor_omega` outside `(0, 2)` makes SOR diverge and `tolerance_k ≤ 0`
+/// never converges — neither failure mode is silent any more.
+///
+/// [`validate`]: ThermalConfig::validate
+/// [`sanitized`]: ThermalConfig::sanitized
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThermalConfig {
-    /// Grid cells along x.
+    /// Grid cells along x. Must be ≥ 2: a single column has no lateral
+    /// spreading and badly misrepresents hot spots.
     pub nx: usize,
-    /// Grid cells along y.
+    /// Grid cells along y. Must be ≥ 2.
     pub ny: usize,
-    /// Ambient temperature, °C.
+    /// Ambient temperature, °C. Must be finite.
     pub ambient_c: f64,
-    /// Heat-sink-to-ambient convection resistance, K/W.
+    /// Heat-sink-to-ambient convection resistance, K/W. Must be finite and
+    /// positive (a zero resistance shorts the stack to ambient and divides
+    /// by zero in the per-cell conductance).
     pub convection_k_per_w: f64,
-    /// SOR relaxation factor (1.0 = Gauss-Seidel).
+    /// SOR relaxation factor. Must lie in the open interval `(0, 2)`:
+    /// 1.0 is plain Gauss–Seidel, values in `(1, 2)` over-relax and
+    /// converge faster, and ω ≥ 2 provably diverges.
     pub sor_omega: f64,
-    /// Convergence threshold on the max per-sweep update, K.
+    /// Convergence threshold on the max per-sweep update, K. Must be finite
+    /// and > 0, otherwise the sweep can never terminate early.
     pub tolerance_k: f64,
-    /// Iteration cap.
+    /// Iteration cap. Must be ≥ 1.
     pub max_iters: usize,
 }
 
@@ -61,6 +85,81 @@ impl Default for ThermalConfig {
             sor_omega: 1.6,
             tolerance_k: 1e-4,
             max_iters: 20_000,
+        }
+    }
+}
+
+impl ThermalConfig {
+    /// Check every field against its documented range.
+    ///
+    /// Returns [`ThermalError::InvalidConfig`] naming the first offending
+    /// field. [`crate::model::ThermalModel::new`] calls this, so invalid
+    /// configurations fail fast instead of silently diverging.
+    pub fn validate(&self) -> Result<(), ThermalError> {
+        let fail = |msg: String| Err(ThermalError::InvalidConfig(msg));
+        if self.nx < 2 || self.ny < 2 {
+            return fail(format!("grid {}x{} too small (need nx, ny >= 2)", self.nx, self.ny));
+        }
+        if !self.ambient_c.is_finite() {
+            return fail(format!("ambient_c = {} must be finite", self.ambient_c));
+        }
+        if !(self.convection_k_per_w.is_finite() && self.convection_k_per_w > 0.0) {
+            return fail(format!(
+                "convection_k_per_w = {} must be finite and > 0",
+                self.convection_k_per_w
+            ));
+        }
+        if !(self.sor_omega > 0.0 && self.sor_omega < 2.0) {
+            return fail(format!(
+                "sor_omega = {} outside (0, 2): SOR diverges",
+                self.sor_omega
+            ));
+        }
+        if !(self.tolerance_k.is_finite() && self.tolerance_k > 0.0) {
+            return fail(format!(
+                "tolerance_k = {} must be finite and > 0",
+                self.tolerance_k
+            ));
+        }
+        if self.max_iters == 0 {
+            return fail("max_iters = 0 (need at least one sweep)".to_owned());
+        }
+        Ok(())
+    }
+
+    /// A copy with every out-of-range field clamped into its valid range
+    /// (defaults are used where no meaningful clamp exists, e.g. a
+    /// non-finite `ambient_c`). Used by the panic-free [`solve`] path so
+    /// historical callers with sloppy configs degrade gracefully instead
+    /// of looping forever.
+    pub fn sanitized(&self) -> Self {
+        let d = Self::default();
+        Self {
+            nx: self.nx.max(2),
+            ny: self.ny.max(2),
+            ambient_c: if self.ambient_c.is_finite() {
+                self.ambient_c
+            } else {
+                d.ambient_c
+            },
+            convection_k_per_w: if self.convection_k_per_w.is_finite()
+                && self.convection_k_per_w > 0.0
+            {
+                self.convection_k_per_w
+            } else {
+                d.convection_k_per_w
+            },
+            sor_omega: if self.sor_omega > 0.0 && self.sor_omega < 2.0 {
+                self.sor_omega
+            } else {
+                self.sor_omega.clamp(0.1, 1.95)
+            },
+            tolerance_k: if self.tolerance_k.is_finite() && self.tolerance_k > 0.0 {
+                self.tolerance_k
+            } else {
+                d.tolerance_k
+            },
+            max_iters: self.max_iters.max(1),
         }
     }
 }
@@ -101,11 +200,30 @@ impl Solution {
 /// `layer_powers` are assigned to the stack's device layers in stack order
 /// (sink-first); extra device layers (if any) receive no power.
 ///
+/// This is a thin wrapper over [`crate::model::ThermalModel`]: the
+/// assembled model comes from the process-wide shared cache, the config is
+/// [`ThermalConfig::sanitized`], and the solve starts cold. Use the model
+/// API directly for warm starts and [`SolveStats`].
+///
 /// # Panics
 ///
 /// Panics if `layer_powers` is empty or exceeds the number of device layers,
 /// or if a power map length mismatches its floorplan.
 pub fn solve(stack: &LayerStack, layer_powers: &[LayerPower], cfg: &ThermalConfig) -> Solution {
+    solve_with_stats(stack, layer_powers, cfg).0
+}
+
+/// Like [`solve`] but also returns the per-solve [`SolveStats`]
+/// (iterations, residual, cache hit, wall time).
+///
+/// # Panics
+///
+/// Same conditions as [`solve`].
+pub fn solve_with_stats(
+    stack: &LayerStack,
+    layer_powers: &[LayerPower],
+    cfg: &ThermalConfig,
+) -> (Solution, SolveStats) {
     assert!(!layer_powers.is_empty(), "need at least one powered layer");
     let dev = stack.device_layer_indices();
     assert!(
@@ -122,152 +240,17 @@ pub fn solve(stack: &LayerStack, layer_powers: &[LayerPower], cfg: &ThermalConfi
         );
     }
 
-    // The chip footprint: use the largest powered floorplan.
-    let width = layer_powers
-        .iter()
-        .map(|l| l.floorplan.width_m)
-        .fold(0.0, f64::max);
-    let height = layer_powers
-        .iter()
-        .map(|l| l.floorplan.height_m)
-        .fold(0.0, f64::max);
-    let (nx, ny) = (cfg.nx, cfg.ny);
-    let (dx, dy) = (width / nx as f64, height / ny as f64);
-    let cell_area = dx * dy;
-    let nl = stack.layers.len();
-    let n_cells = nx * ny;
-
-    // Per-cell injected power for each stack layer.
-    let mut power = vec![vec![0.0f64; n_cells]; nl];
-    for (li, lp) in layer_powers.iter().enumerate() {
-        let l = dev[li];
-        let fp = &lp.floorplan;
-        // Count cells per block first so each block's power is conserved.
-        let mut cells_in_block = vec![0usize; fp.blocks.len()];
-        let mut cell_block = vec![usize::MAX; n_cells];
-        for j in 0..ny {
-            for i in 0..nx {
-                let x = (i as f64 + 0.5) * dx * (fp.width_m / width);
-                let y = (j as f64 + 0.5) * dy * (fp.height_m / height);
-                if let Some(bi) = fp.blocks.iter().position(|b| b.contains(x, y)) {
-                    cells_in_block[bi] += 1;
-                    cell_block[j * nx + i] = bi;
-                }
-            }
-        }
-        for (c, &bi) in cell_block.iter().enumerate() {
-            if bi != usize::MAX && cells_in_block[bi] > 0 {
-                power[l][c] += lp.power_w[bi] / cells_in_block[bi] as f64;
-            }
-        }
-    }
-
-    // Conductances.
-    let lat_gx: Vec<f64> = stack
-        .layers
-        .iter()
-        .map(|l| l.conductivity_w_mk * (l.thickness_m * dy) / dx)
-        .collect();
-    let lat_gy: Vec<f64> = stack
-        .layers
-        .iter()
-        .map(|l| l.conductivity_w_mk * (l.thickness_m * dx) / dy)
-        .collect();
-    let vert_g: Vec<f64> = (0..nl.saturating_sub(1))
-        .map(|l| {
-            let a = &stack.layers[l];
-            let b = &stack.layers[l + 1];
-            let r = a.thickness_m / (2.0 * a.conductivity_w_mk)
-                + b.thickness_m / (2.0 * b.conductivity_w_mk);
-            cell_area / r
-        })
-        .collect();
-    // Sink-to-ambient conductance per cell.
-    let g_amb = 1.0 / (cfg.convection_k_per_w * n_cells as f64);
-
-    // SOR sweep.
-    let mut t = vec![vec![cfg.ambient_c; n_cells]; nl];
-    let mut iterations = 0;
-    for it in 0..cfg.max_iters {
-        iterations = it + 1;
-        let mut max_delta = 0.0f64;
-        for l in 0..nl {
-            for j in 0..ny {
-                for i in 0..nx {
-                    let c = j * nx + i;
-                    let mut num = power[l][c];
-                    let mut den = 0.0;
-                    if i > 0 {
-                        num += lat_gx[l] * t[l][c - 1];
-                        den += lat_gx[l];
-                    }
-                    if i + 1 < nx {
-                        num += lat_gx[l] * t[l][c + 1];
-                        den += lat_gx[l];
-                    }
-                    if j > 0 {
-                        num += lat_gy[l] * t[l][c - nx];
-                        den += lat_gy[l];
-                    }
-                    if j + 1 < ny {
-                        num += lat_gy[l] * t[l][c + nx];
-                        den += lat_gy[l];
-                    }
-                    if l > 0 {
-                        num += vert_g[l - 1] * t[l - 1][c];
-                        den += vert_g[l - 1];
-                    }
-                    if l + 1 < nl {
-                        num += vert_g[l] * t[l + 1][c];
-                        den += vert_g[l];
-                    }
-                    if l == 0 {
-                        num += g_amb * cfg.ambient_c;
-                        den += g_amb;
-                    }
-                    let new = t[l][c] + cfg.sor_omega * (num / den - t[l][c]);
-                    max_delta = max_delta.max((new - t[l][c]).abs());
-                    t[l][c] = new;
-                }
-            }
-        }
-        if max_delta < cfg.tolerance_k {
-            break;
-        }
-    }
-
-    // Peaks.
-    let mut peak = cfg.ambient_c;
-    for &l in &dev {
-        for &v in &t[l] {
-            peak = peak.max(v);
-        }
-    }
-    let mut block_peaks: Vec<(String, f64)> = Vec::new();
-    for (li, lp) in layer_powers.iter().enumerate() {
-        let l = dev[li];
-        let fp = &lp.floorplan;
-        for j in 0..ny {
-            for i in 0..nx {
-                let x = (i as f64 + 0.5) * dx * (fp.width_m / width);
-                let y = (j as f64 + 0.5) * dy * (fp.height_m / height);
-                if let Some(b) = fp.block_at(x, y) {
-                    let v = t[l][j * nx + i];
-                    match block_peaks.iter_mut().find(|(n, _)| *n == b.name) {
-                        Some((_, pk)) => *pk = pk.max(v),
-                        None => block_peaks.push((b.name.clone(), v)),
-                    }
-                }
-            }
-        }
-    }
-
-    Solution {
-        layer_temps_c: t,
-        peak_c: peak,
-        block_peaks_c: block_peaks,
-        iterations,
-    }
+    let floorplans: Vec<Floorplan> = layer_powers.iter().map(|l| l.floorplan.clone()).collect();
+    let powers: Vec<Vec<f64>> = layer_powers.iter().map(|l| l.power_w.clone()).collect();
+    let cfg = cfg.sanitized();
+    let (model, cache_hit) = shared_cache()
+        .get_or_build(stack, &floorplans, &cfg)
+        .expect("sanitized config and validated inputs must assemble");
+    let (solution, mut stats) = model
+        .solve(&powers)
+        .expect("power vectors validated against floorplans above");
+    stats.assembly_cache_hit = cache_hit;
+    (solution, stats)
 }
 
 #[cfg(test)]
@@ -406,6 +389,66 @@ mod tests {
     fn solver_converges() {
         let s = planar_at(6.4);
         assert!(s.iterations < cfg().max_iters, "did not converge");
+    }
+
+    #[test]
+    fn repeat_solves_hit_the_model_cache() {
+        let cache = crate::model::shared_cache();
+        let fp = Floorplan::ryzen_like(9.0e-6);
+        let p = fp.uniform_power(5.0);
+        let lp = [LayerPower {
+            floorplan: fp,
+            power_w: p,
+        }];
+        // Unusual grid so no other test shares the cache entry.
+        let cfg = ThermalConfig {
+            nx: 17,
+            ny: 13,
+            ..ThermalConfig::default()
+        };
+        let (_, first) = solve_with_stats(&LayerStack::planar_2d(), &lp, &cfg);
+        let before = cache.hits();
+        let (_, second) = solve_with_stats(&LayerStack::planar_2d(), &lp, &cfg);
+        assert!(!first.assembly_cache_hit || before > 0);
+        assert!(second.assembly_cache_hit, "second solve must reuse the model");
+        assert!(cache.hits() > before);
+    }
+
+    #[test]
+    fn sanitized_clamps_bad_fields_and_keeps_good_ones() {
+        let bad = ThermalConfig {
+            nx: 0,
+            ny: 1,
+            ambient_c: f64::NAN,
+            convection_k_per_w: -2.0,
+            sor_omega: 3.7,
+            tolerance_k: 0.0,
+            max_iters: 0,
+        };
+        let s = bad.sanitized();
+        assert!(s.validate().is_ok(), "sanitized must validate: {s:?}");
+        let good = cfg();
+        assert_eq!(good.sanitized(), good, "valid configs pass through unchanged");
+    }
+
+    #[test]
+    fn wrapper_survives_divergent_omega() {
+        // Historical callers could pass sor_omega >= 2 and silently diverge;
+        // the wrapper now clamps and still produces a finite field.
+        let fp = Floorplan::ryzen_like(9.0e-6);
+        let p = fp.uniform_power(6.4);
+        let s = solve(
+            &LayerStack::planar_2d(),
+            &[LayerPower {
+                floorplan: fp,
+                power_w: p,
+            }],
+            &ThermalConfig {
+                sor_omega: 2.8,
+                ..cfg()
+            },
+        );
+        assert!(s.peak_c.is_finite() && s.peak_c > 45.0 && s.peak_c < 150.0);
     }
 
     #[test]

@@ -7,14 +7,21 @@
 //! for stability; callers give a wall-clock duration and the module
 //! sub-steps internally.
 //!
+//! The grid, conductances, and block→cell maps come from a shared
+//! [`ThermalModel`] fetched through [`crate::model::shared_cache`], so a
+//! transient simulation of a design the steady-state solver already touched
+//! (or a second `TransientSim` of the same design) skips assembly entirely;
+//! only the heat capacities are specific to this module.
+//!
 //! Used to answer questions the steady state cannot: how fast does an M3D
 //! stack heat up after a power step (thermal coupling between the layers is
 //! nearly instantaneous thanks to the 100 nm ILD), and how much headroom do
 //! thermal sprints have.
 
-use crate::floorplan::Floorplan;
+use crate::model::{shared_cache, ThermalModel};
 use crate::solver::{LayerPower, ThermalConfig};
 use m3d_tech::layers::LayerStack;
+use std::sync::Arc;
 
 /// Volumetric heat capacity of silicon, J/(m³·K).
 const CV_SILICON: f64 = 1.75e6;
@@ -36,21 +43,14 @@ fn cv_of(name: &str) -> f64 {
 /// A transient simulation of one chip stack.
 #[derive(Debug)]
 pub struct TransientSim {
-    stack: LayerStack,
-    cfg: ThermalConfig,
-    nx: usize,
-    ny: usize,
-    width: f64,
-    height: f64,
+    /// Shared steady-state model: grid shape, conductances, block maps.
+    model: Arc<ThermalModel>,
     /// Per-layer, per-cell temperatures (°C), sink-first like the stack.
     pub temps_c: Vec<Vec<f64>>,
-    power: Vec<Vec<f64>>,
+    /// Flat per-cell power, layer-major (same layout the model uses).
+    power: Vec<f64>,
+    /// Per-layer cell heat capacity, J/K.
     caps: Vec<f64>,
-    lat_gx: Vec<f64>,
-    lat_gy: Vec<f64>,
-    vert_g: Vec<f64>,
-    g_amb: f64,
-    dev: Vec<usize>,
     /// Elapsed simulated time, seconds.
     pub elapsed_s: f64,
 }
@@ -69,54 +69,27 @@ impl TransientSim {
             layer_powers.len() <= dev.len(),
             "more power maps than device layers"
         );
-        let width = layer_powers
-            .iter()
-            .map(|l| l.floorplan.width_m)
-            .fold(0.0, f64::max);
-        let height = layer_powers
-            .iter()
-            .map(|l| l.floorplan.height_m)
-            .fold(0.0, f64::max);
-        let (nx, ny) = (cfg.nx, cfg.ny);
-        let (dx, dy) = (width / nx as f64, height / ny as f64);
-        let n_cells = nx * ny;
-        let nl = stack.layers.len();
+        let floorplans: Vec<_> = layer_powers.iter().map(|l| l.floorplan.clone()).collect();
+        let cfg = cfg.sanitized();
+        let (model, _) = shared_cache()
+            .get_or_build(stack, &floorplans, &cfg)
+            .expect("sanitized config and validated inputs must assemble");
+        let (dx, dy) = {
+            let (w, h) = model.footprint_m();
+            (w / model.nx() as f64, h / model.ny() as f64)
+        };
+        let n_cells = model.nx() * model.ny();
+        let nl = model.n_layers();
 
         let mut sim = Self {
-            stack: stack.clone(),
-            cfg: cfg.clone(),
-            nx,
-            ny,
-            width,
-            height,
             temps_c: vec![vec![cfg.ambient_c; n_cells]; nl],
-            power: vec![vec![0.0; n_cells]; nl],
+            power: vec![0.0; nl * n_cells],
             caps: stack
                 .layers
                 .iter()
                 .map(|l| cv_of(l.name) * l.thickness_m * dx * dy)
                 .collect(),
-            lat_gx: stack
-                .layers
-                .iter()
-                .map(|l| l.conductivity_w_mk * (l.thickness_m * dy) / dx)
-                .collect(),
-            lat_gy: stack
-                .layers
-                .iter()
-                .map(|l| l.conductivity_w_mk * (l.thickness_m * dx) / dy)
-                .collect(),
-            vert_g: (0..nl.saturating_sub(1))
-                .map(|l| {
-                    let a = &stack.layers[l];
-                    let b = &stack.layers[l + 1];
-                    let r = a.thickness_m / (2.0 * a.conductivity_w_mk)
-                        + b.thickness_m / (2.0 * b.conductivity_w_mk);
-                    dx * dy / r
-                })
-                .collect(),
-            g_amb: 1.0 / (cfg.convection_k_per_w * n_cells as f64),
-            dev: dev.clone(),
+            model,
             elapsed_s: 0.0,
         };
         sim.set_power(layer_powers);
@@ -124,48 +97,33 @@ impl TransientSim {
     }
 
     /// Replace the power maps (e.g. to model a power step or a sprint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the power maps do not match the floorplans the simulation
+    /// was built with (block counts or layer count).
     pub fn set_power(&mut self, layer_powers: &[LayerPower]) {
-        let (dx, dy) = (self.width / self.nx as f64, self.height / self.ny as f64);
-        for p in &mut self.power {
-            p.iter_mut().for_each(|v| *v = 0.0);
-        }
-        for (li, lp) in layer_powers.iter().enumerate() {
-            let l = self.dev[li];
-            let fp: &Floorplan = &lp.floorplan;
-            let mut cells_in_block = vec![0usize; fp.blocks.len()];
-            let mut cell_block = vec![usize::MAX; self.nx * self.ny];
-            for j in 0..self.ny {
-                for i in 0..self.nx {
-                    let x = (i as f64 + 0.5) * dx * (fp.width_m / self.width);
-                    let y = (j as f64 + 0.5) * dy * (fp.height_m / self.height);
-                    if let Some(bi) = fp.blocks.iter().position(|b| b.contains(x, y)) {
-                        cells_in_block[bi] += 1;
-                        cell_block[j * self.nx + i] = bi;
-                    }
-                }
-            }
-            for (c, &bi) in cell_block.iter().enumerate() {
-                if bi != usize::MAX && cells_in_block[bi] > 0 {
-                    self.power[l][c] += lp.power_w[bi] / cells_in_block[bi] as f64;
-                }
-            }
-        }
+        let powers: Vec<Vec<f64>> = layer_powers.iter().map(|l| l.power_w.clone()).collect();
+        self.power = self
+            .model
+            .assemble_power(&powers)
+            .expect("power maps must match the floorplans the sim was built with");
     }
 
     /// The largest stable forward-Euler step, seconds.
     pub fn max_stable_step_s(&self) -> f64 {
-        let nl = self.stack.layers.len();
+        let nl = self.model.n_layers();
         let mut min_tau = f64::INFINITY;
         for l in 0..nl {
-            let mut g = 4.0 * self.lat_gx[l].max(self.lat_gy[l]);
+            let mut g = 4.0 * self.model.lat_gx[l].max(self.model.lat_gy[l]);
             if l > 0 {
-                g += self.vert_g[l - 1];
+                g += self.model.vert_g[l - 1];
             }
             if l + 1 < nl {
-                g += self.vert_g[l];
+                g += self.model.vert_g[l];
             }
             if l == 0 {
-                g += self.g_amb;
+                g += self.model.g_amb;
             }
             min_tau = min_tau.min(self.caps[l] / g);
         }
@@ -177,38 +135,40 @@ impl TransientSim {
         let dt_max = self.max_stable_step_s();
         let steps = (duration_s / dt_max).ceil().max(1.0) as usize;
         let dt = duration_s / steps as f64;
-        let (nx, ny) = (self.nx, self.ny);
-        let nl = self.stack.layers.len();
+        let (nx, ny) = (self.model.nx(), self.model.ny());
+        let n_cells = nx * ny;
+        let nl = self.model.n_layers();
+        let ambient = self.model.ambient_c();
         let mut next = self.temps_c.clone();
         for _ in 0..steps {
-            for l in 0..nl {
+            for (l, next_l) in next.iter_mut().enumerate().take(nl) {
                 for j in 0..ny {
                     for i in 0..nx {
                         let c = j * nx + i;
                         let t = self.temps_c[l][c];
-                        let mut flux = self.power[l][c];
+                        let mut flux = self.power[l * n_cells + c];
                         if i > 0 {
-                            flux += self.lat_gx[l] * (self.temps_c[l][c - 1] - t);
+                            flux += self.model.lat_gx[l] * (self.temps_c[l][c - 1] - t);
                         }
                         if i + 1 < nx {
-                            flux += self.lat_gx[l] * (self.temps_c[l][c + 1] - t);
+                            flux += self.model.lat_gx[l] * (self.temps_c[l][c + 1] - t);
                         }
                         if j > 0 {
-                            flux += self.lat_gy[l] * (self.temps_c[l][c - nx] - t);
+                            flux += self.model.lat_gy[l] * (self.temps_c[l][c - nx] - t);
                         }
                         if j + 1 < ny {
-                            flux += self.lat_gy[l] * (self.temps_c[l][c + nx] - t);
+                            flux += self.model.lat_gy[l] * (self.temps_c[l][c + nx] - t);
                         }
                         if l > 0 {
-                            flux += self.vert_g[l - 1] * (self.temps_c[l - 1][c] - t);
+                            flux += self.model.vert_g[l - 1] * (self.temps_c[l - 1][c] - t);
                         }
                         if l + 1 < nl {
-                            flux += self.vert_g[l] * (self.temps_c[l + 1][c] - t);
+                            flux += self.model.vert_g[l] * (self.temps_c[l + 1][c] - t);
                         }
                         if l == 0 {
-                            flux += self.g_amb * (self.cfg.ambient_c - t);
+                            flux += self.model.g_amb * (ambient - t);
                         }
-                        next[l][c] = t + dt * flux / self.caps[l];
+                        next_l[c] = t + dt * flux / self.caps[l];
                     }
                 }
             }
@@ -219,16 +179,18 @@ impl TransientSim {
 
     /// Peak device-layer temperature, °C.
     pub fn peak_c(&self) -> f64 {
-        self.dev
+        self.model
+            .dev
             .iter()
             .flat_map(|&l| self.temps_c[l].iter().copied())
-            .fold(self.cfg.ambient_c, f64::max)
+            .fold(self.model.ambient_c(), f64::max)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::floorplan::Floorplan;
     use crate::solver::solve;
 
     fn small_cfg() -> ThermalConfig {
@@ -312,5 +274,21 @@ mod tests {
         let sim = TransientSim::new(&stack, &powered(&stack, 6.4), &small_cfg());
         let dt = sim.max_stable_step_s();
         assert!(dt.is_finite() && dt > 0.0);
+    }
+
+    #[test]
+    fn two_sims_of_one_design_share_the_assembled_model() {
+        let stack = LayerStack::m3d();
+        let layers = powered(&stack, 6.4);
+        // Unusual grid so no other test shares the cache entry.
+        let cfg = ThermalConfig {
+            nx: 9,
+            ny: 11,
+            ..ThermalConfig::default()
+        };
+        let _first = TransientSim::new(&stack, &layers, &cfg);
+        let hits_before = shared_cache().hits();
+        let _second = TransientSim::new(&stack, &layers, &cfg);
+        assert!(shared_cache().hits() > hits_before);
     }
 }

@@ -7,7 +7,40 @@ use m3d_sram::spec::ArraySpec;
 use m3d_tech::node::TechnologyNode;
 use m3d_tech::process::ProcessCorner;
 use m3d_tech::via::ViaKind;
+use m3d_thermal::floorplan::{Block, Floorplan};
+use m3d_thermal::model::{SweepMode, ThermalModel};
+use m3d_thermal::solver::ThermalConfig;
+use m3d_tech::layers::LayerStack;
 use proptest::prelude::*;
+
+/// A rows × cols grid of uniform blocks covering a square die of `area` m².
+fn grid_floorplan(rows: usize, cols: usize, area_m2: f64) -> Floorplan {
+    let side = area_m2.sqrt();
+    let (bw, bh) = (side / cols as f64, side / rows as f64);
+    let blocks = (0..rows)
+        .flat_map(|r| {
+            (0..cols).map(move |c| Block {
+                name: format!("B{r}_{c}"),
+                x_m: c as f64 * bw,
+                y_m: r as f64 * bh,
+                w_m: bw,
+                h_m: bh,
+            })
+        })
+        .collect();
+    Floorplan {
+        width_m: side,
+        height_m: side,
+        blocks,
+    }
+}
+
+/// Deterministic uneven per-block powers summing to `total_w`.
+fn skewed_powers(n_blocks: usize, total_w: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (0..n_blocks).map(|i| 1.0 + (i % 5) as f64).collect();
+    let sum: f64 = weights.iter().sum();
+    weights.iter().map(|w| total_w * w / sum).collect()
+}
 
 fn arb_spec() -> impl proptest::strategy::Strategy<Value = ArraySpec> + Clone {
     (
@@ -153,6 +186,102 @@ proptest! {
             .peak_c
         };
         prop_assert!(run(p1 + extra) > run(p1));
+    }
+
+    #[test]
+    fn thermal_parallel_red_black_matches_serial(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        area_scale in 0.5f64..2.0,
+        watts in 1.0f64..12.0,
+        n in 10usize..22,
+    ) {
+        // The red-black sweep must give the same answer no matter how many
+        // threads execute it: within a colour no cell reads another updated
+        // cell, so the schedule cannot change the arithmetic.
+        let fp = grid_floorplan(rows, cols, 4.5e-6 * area_scale);
+        let powers = vec![
+            skewed_powers(fp.blocks.len(), watts * 0.55),
+            skewed_powers(fp.blocks.len(), watts * 0.45),
+        ];
+        let cfg = ThermalConfig { nx: n, ny: n, ..Default::default() };
+        let model = ThermalModel::new(&LayerStack::m3d(), &[fp.clone(), fp], &cfg)
+            .expect("grid floorplans and default config are valid");
+        let (serial, s_stats) = model
+            .solve_with(&powers, None, SweepMode::Serial)
+            .expect("serial solve");
+        let (parallel, p_stats) = model
+            .solve_with(&powers, None, SweepMode::Parallel)
+            .expect("parallel solve");
+        prop_assert!(p_stats.threads >= 2);
+        prop_assert_eq!(s_stats.iterations, p_stats.iterations);
+        for (ls, lp) in serial.layer_temps_c.iter().zip(&parallel.layer_temps_c) {
+            for (a, b) in ls.iter().zip(lp) {
+                prop_assert!(
+                    (a - b).abs() <= cfg.tolerance_k,
+                    "serial {} vs parallel {}", a, b
+                );
+            }
+        }
+        prop_assert!((serial.peak_c - parallel.peak_c).abs() <= cfg.tolerance_k);
+    }
+
+    #[test]
+    fn thermal_warm_start_reaches_cold_start_field(
+        rows in 1usize..4,
+        cols in 1usize..4,
+        w1 in 2.0f64..8.0,
+        bump in 1.05f64..1.5,
+    ) {
+        // Warm-starting from a nearby field must land on the same steady
+        // state as a cold start (the fixed point does not depend on the
+        // initial guess), in no more iterations.
+        let fp = grid_floorplan(rows, cols, 9.0e-6);
+        let cfg = ThermalConfig { nx: 14, ny: 14, ..Default::default() };
+        let model = ThermalModel::new(&LayerStack::planar_2d(), std::slice::from_ref(&fp), &cfg)
+            .expect("valid model");
+        let p1 = vec![skewed_powers(fp.blocks.len(), w1)];
+        let p2 = vec![skewed_powers(fp.blocks.len(), w1 * bump)];
+        let (first, _) = model.solve(&p1).expect("first solve");
+        let (cold, cold_stats) = model.solve(&p2).expect("cold solve");
+        let (warm, warm_stats) = model
+            .solve_from(&p2, Some(&first))
+            .expect("warm solve");
+        prop_assert!(warm_stats.warm_start && !cold_stats.warm_start);
+        prop_assert!(warm_stats.iterations <= cold_stats.iterations);
+        for (lc, lw) in cold.layer_temps_c.iter().zip(&warm.layer_temps_c) {
+            for (a, b) in lc.iter().zip(lw) {
+                // Both runs stop within tolerance_k per sweep of the same
+                // fixed point; allow a few tolerances of slack between them.
+                prop_assert!((a - b).abs() <= 20.0 * cfg.tolerance_k, "{} vs {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn thermal_steady_state_conserves_power(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        watts in 1.0f64..15.0,
+    ) {
+        // At steady state all injected power must exit through the sink's
+        // convection boundary.
+        let fp = grid_floorplan(rows, cols, 9.0e-6);
+        let cfg = ThermalConfig { nx: 16, ny: 16, ..Default::default() };
+        let model = ThermalModel::new(&LayerStack::planar_2d(), std::slice::from_ref(&fp), &cfg)
+            .expect("valid model");
+        let powers = vec![skewed_powers(fp.blocks.len(), watts)];
+        let (sol, stats) = model.solve(&powers).expect("solve");
+        prop_assert!(stats.converged);
+        let g_amb = 1.0 / (cfg.convection_k_per_w * (cfg.nx * cfg.ny) as f64);
+        let out_w: f64 = sol.layer_temps_c[0]
+            .iter()
+            .map(|t| g_amb * (t - cfg.ambient_c))
+            .sum();
+        prop_assert!(
+            (out_w - watts).abs() / watts < 0.05,
+            "in {} W vs out {} W", watts, out_w
+        );
     }
 
     // --- m3d-power ------------------------------------------------------
