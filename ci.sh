@@ -15,4 +15,16 @@ cargo test -q --workspace --offline
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== repro --quick all (artifact smoke test) =="
+rm -rf target/repro-ci
+./target/release/repro --quick all --out-dir target/repro-ci
+test -f target/repro-ci/manifest.json || {
+  echo "ci.sh: manifest.json missing" >&2
+  exit 1
+}
+grep -q '"errors": 0' target/repro-ci/manifest.json || {
+  echo "ci.sh: manifest reports experiment errors" >&2
+  exit 1
+}
+
 echo "== ci.sh: all checks passed =="

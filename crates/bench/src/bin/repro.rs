@@ -1,132 +1,174 @@
-//! `repro` — regenerate every table and figure of the paper.
+//! `repro` — regenerate every table and figure of the paper, in parallel.
+//!
+//! # Usage
 //!
 //! ```text
-//! repro [--quick] [experiment ...]
-//! experiments: table1 table2 fig2 table3 table4 table5 table6 table7
-//!              table8 table11 fig5 fig6 fig7 fig8 fig9 fig10
-//!              ablations section5 all
+//! repro [--quick] [--jobs N] [--out-dir DIR] [experiment ...]
 //! ```
 //!
-//! With no arguments, runs everything at full scale (several minutes).
+//! With no experiment names, everything runs at full scale (the slowest
+//! experiment bounds the wall time; independent experiments run
+//! concurrently). Experiment names follow the paper's tables and figures:
+//!
+//! ```text
+//! table1 table2 fig2 table3 table4 table5 fig5 table7 ablations section5
+//! table6 table8 table11 fig6 fig7 fig8 fig9 fig10 all
+//! ```
+//!
+//! Figures that share one simulation run are grouped: asking for `fig6`
+//! also runs the Figure 7 simulation (and vice versa) but prints only the
+//! requested table; the same holds for `fig9`/`fig10`.
+//!
+//! # Flags
+//!
+//! * `--quick` — small simulation windows (50k warm-up / 60k measured µops
+//!   instead of 250k/150k) and a 6-app subset for the Figure 8 thermal
+//!   study; seconds instead of minutes.
+//! * `--jobs N` (or `--jobs=N`) — worker-pool size. Defaults to the
+//!   machine's available parallelism. `--jobs 1` reproduces the historical
+//!   serial output byte-for-byte; any N produces identical rendered tables
+//!   (only wall-clock numbers vary).
+//! * `--out-dir DIR` (or `--out-dir=DIR`) — write JSON artifacts under
+//!   `DIR` (created if missing).
+//!
+//! # Artifact layout
+//!
+//! With `--out-dir DIR`, each selected registry entry leaves
+//! `DIR/<name>.json` (structured rows, metadata, per-phase wall times,
+//! thermal-solver statistics, µop count) — shared entries use their
+//! registry id, e.g. `fig6_fig7.json` — plus `DIR/manifest.json` with the
+//! git revision, scale, seeds, jobs, per-experiment timings, the peak
+//! number of overlapping experiments, and aggregate µop throughput.
+//!
+//! Rendered text always goes to stdout in deterministic registry order
+//! regardless of completion order; progress notes go to stderr.
+//!
+//! # Exit status
+//!
+//! `0` on success, `1` if any experiment failed (the others still run and
+//! their artifacts are still written), `2` on a usage error.
 
-use m3d_core::experiments::{
-    ablations, fig5_logic, fig6_fig7_single_core, fig8_thermal, fig9_fig10_multicore,
-    section5_alternatives, table11_configs, table1_table2_fig2_vias as vias,
-    table3_4_5_partitioning as t345, table6_best, table7_techniques, table8_hetero, RunScale,
-};
-use m3d_core::planner::DesignSpace;
-use m3d_core::report::thermal_stats_text;
+use m3d_bench::artifacts::{write_artifacts, RunInfo};
+use m3d_core::experiments::registry::{run_experiments, select, Ctx};
+use m3d_core::experiments::RunScale;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Parsed command line.
+struct Args {
+    quick: bool,
+    jobs: usize,
+    out_dir: Option<PathBuf>,
+    wanted: Vec<String>,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        jobs: default_jobs(),
+        out_dir: None,
+        wanted: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut flag_value = |name: &str| -> Result<Option<String>, String> {
+            if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+                return Ok(Some(v.to_owned()));
+            }
+            if a == name {
+                return match it.next() {
+                    Some(v) => Ok(Some(v.clone())),
+                    None => Err(format!("{name} requires a value")),
+                };
+            }
+            Ok(None)
+        };
+        if a == "--quick" {
+            args.quick = true;
+        } else if let Some(v) = flag_value("--jobs")? {
+            args.jobs = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("--jobs needs a positive integer, got `{v}`"))?;
+        } else if let Some(v) = flag_value("--out-dir")? {
+            args.out_dir = Some(PathBuf::from(v));
+        } else if a.starts_with('-') {
+            return Err(format!("unknown flag `{a}` (see --help in the rustdoc)"));
+        } else {
+            args.wanted.push(a.clone());
+        }
+    }
+    Ok(args)
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("[repro] {e}");
+            eprintln!("usage: repro [--quick] [--jobs N] [--out-dir DIR] [experiment ...]");
+            std::process::exit(2);
+        }
+    };
+    let wanted: Vec<&str> = args.wanted.iter().map(String::as_str).collect();
+    let selected = match select(&wanted) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[repro] {e}");
+            std::process::exit(2);
+        }
+    };
+    let want =
+        |name: &str| wanted.is_empty() || wanted.iter().any(|w| *w == name || *w == "all");
+
+    let scale = if args.quick {
         RunScale::quick()
     } else {
         RunScale::full()
     };
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| *a != "--quick")
-        .map(String::as_str)
-        .collect();
-    let want = |name: &str| wanted.is_empty() || wanted.iter().any(|w| *w == name || *w == "all");
+    let ctx = Ctx::new(scale, args.quick);
+    let t0 = Instant::now();
+    let outcomes = run_experiments(&ctx, &selected, args.jobs, |o| match &o.report {
+        Ok(r) => {
+            for s in &r.sections {
+                if s.only_for.is_none_or(want) {
+                    println!("{}", s.text);
+                }
+            }
+        }
+        Err(e) => eprintln!("[repro] {} FAILED: {e}", o.spec.name),
+    });
+    let total_wall_s = t0.elapsed().as_secs_f64();
 
-    // Cheap analytical experiments first.
-    if want("table1") {
-        println!("{}", vias::table1_text());
-    }
-    if want("table2") {
-        println!("{}", vias::table2_text());
-    }
-    if want("fig2") {
-        println!("{}", vias::fig2_text());
-    }
-    if want("table3") {
-        println!("{}", t345::table3_text());
-    }
-    if want("table4") {
-        println!("{}", t345::table4_text());
-    }
-    if want("table5") {
-        println!("{}", t345::table5_text());
-    }
-    if want("fig5") {
-        println!("{}", fig5_logic::fig5_text());
-    }
-    if want("table7") {
-        println!("{}", table7_techniques::table7_text());
-    }
-    if want("ablations") {
-        println!("{}", ablations::ablations_text());
-    }
-    if want("section5") {
-        println!("{}", section5_alternatives::enlarged_text());
-        println!("{}", section5_alternatives::lp_top_text());
-        println!("{}", section5_alternatives::headroom_text());
+    if let Some(dir) = &args.out_dir {
+        let info = RunInfo {
+            quick: args.quick,
+            jobs: args.jobs,
+            scale,
+            wanted: args.wanted.clone(),
+        };
+        match write_artifacts(dir, &info, &outcomes, total_wall_s) {
+            Ok(manifest) => eprintln!(
+                "[repro] wrote {} artifact(s) and {}",
+                outcomes.len(),
+                manifest.display()
+            ),
+            Err(e) => {
+                eprintln!("[repro] failed writing artifacts to {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
     }
 
-    let needs_space = ["table6", "table8", "table11", "fig6", "fig7", "fig8", "fig9", "fig10"]
-        .iter()
-        .any(|e| want(e));
-    if !needs_space {
-        return;
-    }
-    eprintln!("[repro] computing design space (planner over 12 structures)...");
-    let space = DesignSpace::compute();
-    if want("table6") {
-        println!("{}", table6_best::table6_text(&space));
-    }
-    if want("table8") {
-        println!("{}", table8_hetero::table8_text(&space));
-    }
-    if want("table11") {
-        println!("{}", table11_configs::table11_text(&space));
-        let (feas, stats) = space.thermal_feasibility();
-        println!("Thermal feasibility at nominal power (Tjmax {} C):", m3d_core::planner::TJMAX_C);
-        for f in &feas {
-            println!(
-                "  {:<14} {:>6.1} C  {}",
-                f.design.label(),
-                f.peak_c,
-                if f.feasible { "ok" } else { "EXCEEDS Tjmax" }
-            );
-        }
-        println!("{}\n", thermal_stats_text("feasibility", &stats));
-    }
-    if want("fig6") || want("fig7") {
-        eprintln!("[repro] running single-core study (21 apps x 6 designs)...");
-        let study = fig6_fig7_single_core::run(&space, scale);
-        if want("fig6") {
-            println!("{}", fig6_fig7_single_core::fig6_text(&study));
-        }
-        if want("fig7") {
-            println!("{}", fig6_fig7_single_core::fig7_text(&study));
-        }
-    }
-    if want("fig8") {
-        eprintln!("[repro] running thermal study...");
-        let apps = if quick { 6 } else { 21 };
-        let t0 = std::time::Instant::now();
-        let (rows, stats) = fig8_thermal::run_with_stats(&space, scale, apps);
-        let wall = t0.elapsed().as_secs_f64();
-        println!("{}", fig8_thermal::fig8_text(&rows));
-        println!("{}", thermal_stats_text("fig8", &stats));
-        println!("[fig8] experiment wall time: {wall:.2} s\n");
-    }
-    if want("fig9") || want("fig10") {
-        eprintln!("[repro] running multicore study (15 apps x 5 designs)...");
-        let t0 = std::time::Instant::now();
-        let (study, stats) = fig9_fig10_multicore::run_with_stats(&space, scale);
-        let wall = t0.elapsed().as_secs_f64();
-        if want("fig9") {
-            println!("{}", fig9_fig10_multicore::fig9_text(&study));
-        }
-        if want("fig10") {
-            println!("{}", fig9_fig10_multicore::fig10_text(&study));
-        }
-        println!("{}", fig9_fig10_multicore::thermal_text(&study));
-        println!("{}", thermal_stats_text("fig9/fig10", &stats));
-        println!("[fig9/fig10] experiment wall time: {wall:.2} s\n");
+    if outcomes.iter().any(|o| o.report.is_err()) {
+        std::process::exit(1);
     }
 }

@@ -4,6 +4,8 @@
 
 #![warn(missing_docs)]
 
+pub mod artifacts;
+
 use m3d_core::planner::DesignSpace;
 use std::sync::OnceLock;
 

@@ -1,0 +1,60 @@
+//! End-to-end checks of the `repro` binary: argument parsing, the exact
+//! serial byte stream for selected experiments, and artifact writing.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn selected_experiments_print_the_serial_byte_stream() {
+    let out = repro()
+        .args(["--quick", "table1", "table2"])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "{:?}", out);
+    let expected = format!(
+        "{}\n{}\n",
+        m3d_core::experiments::table1_table2_fig2_vias::table1_text(),
+        m3d_core::experiments::table1_table2_fig2_vias::table2_text()
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
+}
+
+#[test]
+fn unknown_experiment_is_a_usage_error() {
+    let out = repro().arg("nope").output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+}
+
+#[test]
+fn bad_jobs_value_is_a_usage_error() {
+    let out = repro()
+        .args(["--jobs", "0", "table1"])
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn out_dir_receives_artifacts_and_manifest() {
+    let dir = std::env::temp_dir().join(format!("m3d-repro-cli-{}", std::process::id()));
+    let out = repro()
+        .args(["--quick", "--jobs=2", "fig5", "table7"])
+        .arg(format!("--out-dir={}", dir.display()))
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "{:?}", out);
+    assert!(dir.join("fig5.json").exists());
+    assert!(dir.join("table7.json").exists());
+    let manifest =
+        std::fs::read_to_string(dir.join("manifest.json")).expect("manifest written");
+    assert!(manifest.contains("\"errors\": 0"), "{manifest}");
+    assert!(manifest.contains("\"tool\": \"repro\""));
+    let fig5 = std::fs::read_to_string(dir.join("fig5.json")).expect("artifact written");
+    assert!(fig5.contains("\"ok\": true"));
+    assert!(fig5.contains("\"rows\""));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -6,7 +6,8 @@
 //! * TSV diameter sensitivity;
 //! * shared-L2 pairing on/off in the multicore M3D design.
 
-use crate::report::{pct, Table};
+use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::report::{pct, Json, Table};
 use m3d_sram::model2d::{analyze_2d, analyze_with_org};
 use m3d_sram::partition3d::{partition, partition_with_via, port_partition_plans, Strategy};
 use m3d_sram::structures::StructureId;
@@ -77,18 +78,26 @@ pub fn tsv_diameter_sweep() -> Vec<(f64, f64)> {
 
 /// Render all analytical ablations.
 pub fn ablations_text() -> String {
+    ablations_text_from(&strategy_ablation(), &hetero_rf_sweep(), &tsv_diameter_sweep())
+}
+
+/// Render the ablations from precomputed sweeps.
+pub fn ablations_text_from(
+    strategy: &[(StructureId, f64, f64, f64)],
+    sweep: &[(usize, f64, f64)],
+    tsv: &[(f64, f64)],
+) -> String {
     let mut out = String::from("Ablations over the design choices\n\n");
 
     let mut t = Table::new(["Structure", "PP", "BP", "WP"]);
-    for (id, pp, bp, wp) in strategy_ablation() {
-        t.row([id.label().to_owned(), pct(pp), pct(bp), pct(wp)]);
+    for (id, pp, bp, wp) in strategy {
+        t.row([id.label().to_owned(), pct(*pp), pct(*bp), pct(*wp)]);
     }
     out.push_str("1. Forced-strategy latency reductions (multiported):\n");
     out.push_str(&t.render());
 
     out.push_str("\n2+3. Hetero RF access (ps) vs bottom ports x upsize:\n");
     let mut t = Table::new(["b\\u", "1.0x", "1.5x", "2.0x", "3.0x"]);
-    let sweep = hetero_rf_sweep();
     for p_b in 9..=13 {
         let row: Vec<String> = std::iter::once(p_b.to_string())
             .chain(sweep.iter().filter(|(b, _, _)| *b == p_b).map(|(_, _, a)| {
@@ -101,11 +110,66 @@ pub fn ablations_text() -> String {
 
     out.push_str("\n4. TSV diameter vs RF bit-partitioning latency gain:\n");
     let mut t = Table::new(["Diameter", "Latency reduction"]);
-    for (d, lat) in tsv_diameter_sweep() {
-        t.row([format!("{d:.1} um"), pct(lat)]);
+    for (d, lat) in tsv {
+        t.row([format!("{d:.1} um"), pct(*lat)]);
     }
     out.push_str(&t.render());
     out
+}
+
+/// Registry entry point for the ablation studies.
+pub fn report(_ctx: &Ctx) -> ExperimentReport {
+    let t0 = std::time::Instant::now();
+    let strategy = strategy_ablation();
+    let t_strategy = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let sweep = hetero_rf_sweep();
+    let t_sweep = t1.elapsed().as_secs_f64();
+    let t2 = std::time::Instant::now();
+    let tsv = tsv_diameter_sweep();
+    let t_tsv = t2.elapsed().as_secs_f64();
+    ExperimentReport {
+        sections: vec![Section::always(ablations_text_from(&strategy, &sweep, &tsv))],
+        rows: Json::obj([
+            (
+                "forced_strategy_latency_pct",
+                Json::arr(strategy.iter().map(|(id, pp, bp, wp)| {
+                    Json::obj([
+                        ("structure", Json::from(id.label())),
+                        ("pp", Json::from(*pp)),
+                        ("bp", Json::from(*bp)),
+                        ("wp", Json::from(*wp)),
+                    ])
+                })),
+            ),
+            (
+                "hetero_rf_access_s",
+                Json::arr(sweep.iter().map(|(b, u, a)| {
+                    Json::obj([
+                        ("bottom_ports", Json::from(*b)),
+                        ("upsize", Json::from(*u)),
+                        ("access_s", Json::from(*a)),
+                    ])
+                })),
+            ),
+            (
+                "tsv_diameter_latency_pct",
+                Json::arr(tsv.iter().map(|(d, lat)| {
+                    Json::obj([
+                        ("diameter_um", Json::from(*d)),
+                        ("latency_reduction_pct", Json::from(*lat)),
+                    ])
+                })),
+            ),
+        ]),
+        meta: Json::obj([("node_nm", Json::from(22i64))]),
+        phases: vec![
+            ("forced_strategy", t_strategy),
+            ("hetero_rf_sweep", t_sweep),
+            ("tsv_diameter_sweep", t_tsv),
+        ],
+        ..Default::default()
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,8 @@
 //! adder's critical path, the slack distribution, the hetero-layer logic
 //! partition, and the ALU + bypass frequency/footprint gains.
 
-use crate::report::{pct, Table};
+use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::report::{pct, Json, Table};
 use m3d_logic::adder::carry_skip_adder;
 use m3d_logic::bypass::BypassStage;
 use m3d_logic::partition::partition_hetero;
@@ -88,6 +89,33 @@ pub fn fig5_text() -> String {
         "Figure 5 / Section 3.1: logic-stage partitioning results\n{}",
         t.render()
     )
+}
+
+/// Registry entry point for Figure 5 / Section 3.1.
+pub fn report(_ctx: &Ctx) -> ExperimentReport {
+    let t0 = std::time::Instant::now();
+    let r = fig5();
+    ExperimentReport {
+        sections: vec![Section::always(fig5_text())],
+        rows: Json::obj([
+            ("critical_fraction", Json::from(r.critical_fraction)),
+            (
+                "critical_fraction_20pct",
+                Json::from(r.critical_fraction_20pct),
+            ),
+            ("top_fraction_at_17pct", Json::from(r.top_fraction_at_17pct)),
+            ("one_alu_gain", Json::from(r.one_alu_gain)),
+            ("four_alu_gain", Json::from(r.four_alu_gain)),
+            (
+                "four_alu_energy_saving",
+                Json::from(r.four_alu_energy_saving),
+            ),
+            ("footprint_reduction", Json::from(r.footprint_reduction)),
+        ]),
+        meta: Json::obj([("adder_bits", Json::from(64i64)), ("node_nm", Json::from(45i64))]),
+        phases: vec![("compute", t0.elapsed().as_secs_f64())],
+        ..Default::default()
+    }
 }
 
 #[cfg(test)]

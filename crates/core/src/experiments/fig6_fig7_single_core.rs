@@ -6,9 +6,10 @@
 //! energy from the power model under each design's array/logic/clock scales.
 
 use crate::configs::DesignPoint;
+use crate::experiments::registry::{Ctx, ExperimentReport, Section};
 use crate::experiments::RunScale;
 use crate::planner::DesignSpace;
-use crate::report::{ratio, Table};
+use crate::report::{ratio, Json, Table};
 use m3d_power::model::CorePowerModel;
 use m3d_uarch::core::Core;
 use m3d_uarch::stats::PerfResult;
@@ -137,6 +138,52 @@ pub fn fig7_text(study: &SingleCoreStudy) -> String {
         study.average_energy(),
         "Figure 7: energy of M3D designs normalised to Base (2D)",
     )
+}
+
+/// Registry entry point for Figures 6 and 7 (one shared simulation run).
+pub fn report(ctx: &Ctx) -> ExperimentReport {
+    let t0 = std::time::Instant::now();
+    let space = ctx.space();
+    let t_space = t0.elapsed().as_secs_f64();
+    eprintln!("[repro] running single-core study (21 apps x 6 designs)...");
+    let t1 = std::time::Instant::now();
+    let study = run(space, ctx.scale());
+    let t_sim = t1.elapsed().as_secs_f64();
+    let scale = ctx.scale();
+    let uops = (study.rows.len() * DesignPoint::ALL.len()) as u64
+        * (scale.warmup + scale.measure);
+    ExperimentReport {
+        sections: vec![
+            Section::named("fig6", fig6_text(&study)),
+            Section::named("fig7", fig7_text(&study)),
+        ],
+        rows: Json::arr(study.rows.iter().map(|r| {
+            Json::obj([
+                ("app", Json::from(r.app.clone())),
+                ("speedup", Json::arr(r.speedup.iter().map(|&v| Json::from(v)))),
+                ("energy", Json::arr(r.energy.iter().map(|&v| Json::from(v)))),
+                ("base_power_w", Json::from(r.base_power_w)),
+            ])
+        })),
+        meta: Json::obj([
+            (
+                "designs",
+                Json::arr(DesignPoint::ALL.iter().map(|d| Json::from(d.label()))),
+            ),
+            ("apps", Json::from(study.rows.len())),
+            (
+                "average_speedup",
+                Json::arr(study.average_speedup().into_iter().map(Json::from)),
+            ),
+            (
+                "average_energy",
+                Json::arr(study.average_energy().into_iter().map(Json::from)),
+            ),
+        ]),
+        phases: vec![("design_space", t_space), ("simulate", t_sim)],
+        uops,
+        ..Default::default()
+    }
 }
 
 #[cfg(test)]

@@ -15,9 +15,10 @@
 //! sweep count severalfold.
 
 use crate::configs::DesignPoint;
+use crate::experiments::registry::{Ctx, ExperimentReport, Section};
 use crate::experiments::{par_map_with, RunScale};
 use crate::planner::DesignSpace;
-use crate::report::Table;
+use crate::report::{thermal_stats_text, Json, Table};
 use m3d_power::model::CorePowerModel;
 use m3d_thermal::floorplan::Floorplan;
 use m3d_thermal::model::{shared_cache, SolveStatsSummary, ThermalModel};
@@ -210,6 +211,43 @@ pub fn fig8_text(rows: &[ThermalRow]) -> String {
         String::new(),
     ]);
     format!("Figure 8: peak temperature per design\n{}", t.render())
+}
+
+/// Registry entry point for Figure 8.
+pub fn report(ctx: &Ctx) -> ExperimentReport {
+    let t0 = std::time::Instant::now();
+    let space = ctx.space();
+    let t_space = t0.elapsed().as_secs_f64();
+    eprintln!("[repro] running thermal study...");
+    let apps = if ctx.quick() { 6 } else { 21 };
+    let t1 = std::time::Instant::now();
+    let (rows, stats) = run_with_stats(space, ctx.scale(), apps);
+    let wall = t1.elapsed().as_secs_f64();
+    let scale = ctx.scale();
+    let uops = (rows.len() * 3) as u64 * (scale.warmup + scale.measure);
+    ExperimentReport {
+        sections: vec![
+            Section::always(fig8_text(&rows)),
+            Section::always(thermal_stats_text("fig8", &stats)),
+            Section::always(format!("[fig8] experiment wall time: {wall:.2} s\n")),
+        ],
+        rows: Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("app", Json::from(r.app.clone())),
+                ("base_c", Json::from(r.base_c)),
+                ("tsv3d_c", Json::from(r.tsv3d_c)),
+                ("m3d_het_c", Json::from(r.m3d_het_c)),
+                ("hottest_block", Json::from(r.hottest_block.clone())),
+            ])
+        })),
+        meta: Json::obj([
+            ("apps", Json::from(rows.len())),
+            ("core_area_m2", Json::from(CORE_AREA_M2)),
+        ]),
+        phases: vec![("design_space", t_space), ("simulate_and_solve", wall)],
+        thermal: Some(stats),
+        uops,
+    }
 }
 
 #[cfg(test)]

@@ -18,9 +18,10 @@
 
 use crate::configs::MulticoreDesign;
 use crate::experiments::fig8_thermal::DesignModels;
+use crate::experiments::registry::{Ctx, ExperimentReport, Section};
 use crate::experiments::{par_map_with, RunScale};
 use crate::planner::DesignSpace;
-use crate::report::{ratio, Table};
+use crate::report::{ratio, thermal_stats_text, Json, Table};
 use m3d_power::model::CorePowerModel;
 use m3d_thermal::model::SolveStatsSummary;
 use m3d_thermal::solver::{Solution, ThermalConfig};
@@ -248,6 +249,61 @@ pub fn thermal_text(study: &MulticoreStudy) -> String {
         study.average_peak_c(),
         "Multicore thermal check: peak per-core die temperature (C)",
     )
+}
+
+/// Registry entry point for Figures 9 and 10 plus the thermal check (one
+/// shared simulation run).
+pub fn report(ctx: &Ctx) -> ExperimentReport {
+    let t0 = std::time::Instant::now();
+    let space = ctx.space();
+    let t_space = t0.elapsed().as_secs_f64();
+    eprintln!("[repro] running multicore study (15 apps x 5 designs)...");
+    let t1 = std::time::Instant::now();
+    let (study, stats) = run_with_stats(space, ctx.scale());
+    let wall = t1.elapsed().as_secs_f64();
+    let scale = ctx.scale();
+    let cores_total: usize = MulticoreDesign::ALL.iter().map(|d| d.n_cores()).sum();
+    let uops = (study.rows.len() * cores_total) as u64 * (scale.warmup + scale.measure);
+    ExperimentReport {
+        sections: vec![
+            Section::named("fig9", fig9_text(&study)),
+            Section::named("fig10", fig10_text(&study)),
+            Section::always(thermal_text(&study)),
+            Section::always(thermal_stats_text("fig9/fig10", &stats)),
+            Section::always(format!("[fig9/fig10] experiment wall time: {wall:.2} s\n")),
+        ],
+        rows: Json::arr(study.rows.iter().map(|r| {
+            Json::obj([
+                ("app", Json::from(r.app.clone())),
+                ("speedup", Json::arr(r.speedup.iter().map(|&v| Json::from(v)))),
+                ("energy", Json::arr(r.energy.iter().map(|&v| Json::from(v)))),
+                ("power_w", Json::arr(r.power_w.iter().map(|&v| Json::from(v)))),
+                ("peak_c", Json::arr(r.peak_c.iter().map(|&v| Json::from(v)))),
+            ])
+        })),
+        meta: Json::obj([
+            (
+                "designs",
+                Json::arr(MulticoreDesign::ALL.iter().map(|d| Json::from(d.label()))),
+            ),
+            ("apps", Json::from(study.rows.len())),
+            (
+                "average_speedup",
+                Json::arr(study.average_speedup().into_iter().map(Json::from)),
+            ),
+            (
+                "average_energy",
+                Json::arr(study.average_energy().into_iter().map(Json::from)),
+            ),
+            (
+                "average_peak_c",
+                Json::arr(study.average_peak_c().into_iter().map(Json::from)),
+            ),
+        ]),
+        phases: vec![("design_space", t_space), ("simulate_and_solve", wall)],
+        thermal: Some(stats),
+        uops,
+    }
 }
 
 #[cfg(test)]

@@ -2,13 +2,18 @@
 //!
 //! Every driver returns typed rows plus a rendered text table so that the
 //! `repro` binary, the Criterion benches, and the integration tests all
-//! consume the same code path.
+//! consume the same code path. Each driver additionally exposes a uniform
+//! `report(&registry::Ctx) -> registry::ExperimentReport` entry point; the
+//! [`registry`] module collects these into a declarative experiment
+//! registry and schedules them across a worker pool for the `repro`
+//! orchestrator.
 
 pub mod ablations;
 pub mod fig5_logic;
 pub mod fig6_fig7_single_core;
 pub mod fig8_thermal;
 pub mod fig9_fig10_multicore;
+pub mod registry;
 pub mod table1_table2_fig2_vias;
 pub mod table3_4_5_partitioning;
 pub mod table6_best;

@@ -1,0 +1,537 @@
+//! The experiment registry and parallel orchestrator behind `repro`.
+//!
+//! Every table/figure driver exposes a uniform `report(&Ctx) ->
+//! ExperimentReport` entry point; this module registers them all in
+//! [`REGISTRY`] with their declared dependencies (the shared
+//! [`DesignSpace`] prerequisite, the thermal model cache) and a scheduling
+//! weight, and runs a selection of them across a `std::thread::scope`
+//! worker pool.
+//!
+//! Determinism contract: experiments are *executed* heaviest-first across
+//! workers, but their rendered text is *emitted* in registry order, and all
+//! structured rows are independent of the worker count — `--jobs 1` and
+//! `--jobs N` produce the same report contents (only wall-clock fields
+//! differ).
+
+use crate::experiments::{
+    ablations, fig5_logic, fig6_fig7_single_core, fig8_thermal, fig9_fig10_multicore,
+    section5_alternatives, table11_configs, table1_table2_fig2_vias,
+    table3_4_5_partitioning, table6_best, table7_techniques, table8_hetero, RunScale,
+};
+use crate::planner::DesignSpace;
+use crate::report::Json;
+use m3d_thermal::model::SolveStatsSummary;
+use m3d_thermal::solver::ThermalConfig;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Shared execution context handed to every experiment driver.
+///
+/// The expensive prerequisites are computed once and shared: the
+/// [`DesignSpace`] lives behind a [`OnceLock`] (the first experiment that
+/// needs it computes it; concurrent callers block on the same
+/// initialisation), and the three per-design thermal models can be
+/// pre-warmed into the process-wide model cache so that cache-hit
+/// statistics do not depend on which thermal experiment happens to run
+/// first under a parallel schedule.
+#[derive(Debug)]
+pub struct Ctx {
+    scale: RunScale,
+    quick: bool,
+    space: OnceLock<DesignSpace>,
+}
+
+impl Ctx {
+    /// Create a context for one `repro` run.
+    pub fn new(scale: RunScale, quick: bool) -> Self {
+        Self {
+            scale,
+            quick,
+            space: OnceLock::new(),
+        }
+    }
+
+    /// The simulation window sizes for this run.
+    pub fn scale(&self) -> RunScale {
+        self.scale
+    }
+
+    /// Whether this is a `--quick` run (smaller thermal app subsets).
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// The shared design space, computed on first use (once per context).
+    pub fn space(&self) -> &DesignSpace {
+        self.space.get_or_init(|| {
+            eprintln!("[repro] computing design space (planner over 12 structures)...");
+            DesignSpace::compute()
+        })
+    }
+
+    /// Assemble the three per-design thermal models into the process-wide
+    /// cache so every thermal experiment observes the same (warm) cache
+    /// state regardless of scheduling order.
+    pub fn prewarm_thermal_models(&self) {
+        let _ = fig8_thermal::DesignModels::build(&ThermalConfig::default());
+    }
+}
+
+/// One block of rendered text inside a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// When `Some(name)`, the block is printed only if `name` was requested
+    /// (several paper figures share one simulation run); `None` blocks print
+    /// whenever the owning experiment is selected.
+    pub only_for: Option<&'static str>,
+    /// The text, byte-identical to what the pre-orchestrator serial `repro`
+    /// passed to `println!` for this block.
+    pub text: String,
+}
+
+impl Section {
+    /// A block printed whenever the experiment is selected.
+    pub fn always(text: String) -> Self {
+        Self {
+            only_for: None,
+            text,
+        }
+    }
+
+    /// A block printed only when `name` was explicitly or implicitly wanted.
+    pub fn named(name: &'static str, text: String) -> Self {
+        Self {
+            only_for: Some(name),
+            text,
+        }
+    }
+}
+
+/// The uniform result of one experiment driver: rendered text plus
+/// machine-readable rows and run metadata for the JSON artifacts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExperimentReport {
+    /// Rendered text blocks in print order.
+    pub sections: Vec<Section>,
+    /// Structured result rows (the artifact payload).
+    pub rows: Json,
+    /// Experiment-specific metadata (design labels, sweep parameters, ...).
+    pub meta: Json,
+    /// Per-phase wall time, seconds.
+    pub phases: Vec<(&'static str, f64)>,
+    /// Accumulated thermal-solver statistics, when the experiment solves.
+    pub thermal: Option<SolveStatsSummary>,
+    /// Nominal µops simulated (warm-up + measured, summed over cores), for
+    /// the manifest's throughput figure; zero for analytical experiments.
+    pub uops: u64,
+}
+
+/// One registry entry: an experiment with its names and dependencies.
+#[derive(Debug)]
+pub struct ExperimentSpec {
+    /// Registry id; also the artifact file stem (`<name>.json`).
+    pub name: &'static str,
+    /// Human-readable title (manifest and progress output).
+    pub title: &'static str,
+    /// The `repro` CLI names that select this entry (a shared simulation
+    /// run serves several paper figures).
+    pub cli_names: &'static [&'static str],
+    /// Whether the driver consumes the shared [`DesignSpace`].
+    pub needs_space: bool,
+    /// Whether the driver runs the thermal solver (and therefore touches
+    /// the process-wide model cache).
+    pub needs_thermal: bool,
+    /// Scheduling weight: heavier experiments are started first so the
+    /// total wall time is bounded by the slowest experiment, not the sum.
+    pub weight: u32,
+    /// The driver entry point.
+    pub run: fn(&Ctx) -> ExperimentReport,
+}
+
+/// All experiments, in the deterministic output order of `repro all`
+/// (identical to the historical serial print order).
+pub static REGISTRY: &[ExperimentSpec] = &[
+    ExperimentSpec {
+        name: "table1",
+        title: "Table 1: via area overhead",
+        cli_names: &["table1"],
+        needs_space: false,
+        needs_thermal: false,
+        weight: 1,
+        run: table1_table2_fig2_vias::report_table1,
+    },
+    ExperimentSpec {
+        name: "table2",
+        title: "Table 2: via electrical characteristics",
+        cli_names: &["table2"],
+        needs_space: false,
+        needs_thermal: false,
+        weight: 1,
+        run: table1_table2_fig2_vias::report_table2,
+    },
+    ExperimentSpec {
+        name: "fig2",
+        title: "Figure 2: relative areas",
+        cli_names: &["fig2"],
+        needs_space: false,
+        needs_thermal: false,
+        weight: 1,
+        run: table1_table2_fig2_vias::report_fig2,
+    },
+    ExperimentSpec {
+        name: "table3",
+        title: "Table 3: bit partitioning",
+        cli_names: &["table3"],
+        needs_space: false,
+        needs_thermal: false,
+        weight: 5,
+        run: table3_4_5_partitioning::report_table3,
+    },
+    ExperimentSpec {
+        name: "table4",
+        title: "Table 4: word partitioning",
+        cli_names: &["table4"],
+        needs_space: false,
+        needs_thermal: false,
+        weight: 5,
+        run: table3_4_5_partitioning::report_table4,
+    },
+    ExperimentSpec {
+        name: "table5",
+        title: "Table 5: port partitioning",
+        cli_names: &["table5"],
+        needs_space: false,
+        needs_thermal: false,
+        weight: 5,
+        run: table3_4_5_partitioning::report_table5,
+    },
+    ExperimentSpec {
+        name: "fig5",
+        title: "Figure 5 / Section 3.1: logic-stage partitioning",
+        cli_names: &["fig5"],
+        needs_space: false,
+        needs_thermal: false,
+        weight: 3,
+        run: fig5_logic::report,
+    },
+    ExperimentSpec {
+        name: "table7",
+        title: "Table 7: hetero-layer techniques",
+        cli_names: &["table7"],
+        needs_space: false,
+        needs_thermal: false,
+        weight: 1,
+        run: table7_techniques::report,
+    },
+    ExperimentSpec {
+        name: "ablations",
+        title: "Ablations over the design choices",
+        cli_names: &["ablations"],
+        needs_space: false,
+        needs_thermal: false,
+        weight: 10,
+        run: ablations::report,
+    },
+    ExperimentSpec {
+        name: "section5",
+        title: "Section 5 / 7.1.2: alternatives and thermal headroom",
+        cli_names: &["section5"],
+        needs_space: false,
+        needs_thermal: true,
+        weight: 30,
+        run: section5_alternatives::report,
+    },
+    ExperimentSpec {
+        name: "table6",
+        title: "Table 6: best iso-layer partition per structure",
+        cli_names: &["table6"],
+        needs_space: true,
+        needs_thermal: false,
+        weight: 20,
+        run: table6_best::report,
+    },
+    ExperimentSpec {
+        name: "table8",
+        title: "Table 8: best hetero-layer partitioning",
+        cli_names: &["table8"],
+        needs_space: true,
+        needs_thermal: false,
+        weight: 20,
+        run: table8_hetero::report,
+    },
+    ExperimentSpec {
+        name: "table11",
+        title: "Table 11: configurations and thermal feasibility",
+        cli_names: &["table11"],
+        needs_space: true,
+        needs_thermal: true,
+        weight: 25,
+        run: table11_configs::report,
+    },
+    ExperimentSpec {
+        name: "fig6_fig7",
+        title: "Figures 6-7: single-core speed-up and energy",
+        cli_names: &["fig6", "fig7"],
+        needs_space: true,
+        needs_thermal: false,
+        weight: 100,
+        run: fig6_fig7_single_core::report,
+    },
+    ExperimentSpec {
+        name: "fig8",
+        title: "Figure 8: peak temperature per design",
+        cli_names: &["fig8"],
+        needs_space: true,
+        needs_thermal: true,
+        weight: 60,
+        run: fig8_thermal::report,
+    },
+    ExperimentSpec {
+        name: "fig9_fig10",
+        title: "Figures 9-10: multicore speed-up, energy, and thermal check",
+        cli_names: &["fig9", "fig10"],
+        needs_space: true,
+        needs_thermal: true,
+        weight: 90,
+        run: fig9_fig10_multicore::report,
+    },
+];
+
+/// Look up a registry entry by its id.
+pub fn find(name: &str) -> Option<&'static ExperimentSpec> {
+    REGISTRY.iter().find(|s| s.name == name)
+}
+
+/// Resolve a `repro` experiment selection to registry entries, preserving
+/// registry order.
+///
+/// An empty list or the name `all` selects everything; an entry is selected
+/// when its id or any of its CLI names is wanted. Unknown names are an
+/// error listing the valid ones.
+pub fn select(wanted: &[&str]) -> Result<Vec<&'static ExperimentSpec>, String> {
+    let all = wanted.is_empty() || wanted.contains(&"all");
+    for w in wanted {
+        let known = *w == "all"
+            || REGISTRY
+                .iter()
+                .any(|s| s.name == *w || s.cli_names.contains(w));
+        if !known {
+            let mut valid: Vec<&str> = REGISTRY
+                .iter()
+                .flat_map(|s| s.cli_names.iter().copied())
+                .collect();
+            valid.push("all");
+            return Err(format!(
+                "unknown experiment `{w}`; valid names: {}",
+                valid.join(" ")
+            ));
+        }
+    }
+    Ok(REGISTRY
+        .iter()
+        .filter(|s| {
+            all || wanted
+                .iter()
+                .any(|w| s.name == *w || s.cli_names.contains(w))
+        })
+        .collect())
+}
+
+/// The outcome of one scheduled experiment.
+#[derive(Debug)]
+pub struct Outcome {
+    /// The registry entry that ran.
+    pub spec: &'static ExperimentSpec,
+    /// The report, or the panic message if the driver panicked.
+    pub report: Result<ExperimentReport, String>,
+    /// Start offset from the beginning of the run, seconds.
+    pub start_s: f64,
+    /// Wall time of this experiment, seconds.
+    pub wall_s: f64,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "experiment panicked".to_owned()
+    }
+}
+
+/// Run `selected` experiments on up to `jobs` worker threads.
+///
+/// Execution order is heaviest-first (by [`ExperimentSpec::weight`]) so the
+/// run is bounded by the slowest experiment; `emit` is nevertheless called
+/// exactly once per experiment **in registry order**, as soon as each
+/// result and all its predecessors are available, so output streams
+/// deterministically. Panicking drivers are caught and surfaced as `Err`
+/// outcomes instead of tearing down the run.
+///
+/// When at least two selected experiments touch the thermal solver, the
+/// per-design models are pre-assembled into the shared cache first so that
+/// cache-hit statistics are identical for every `jobs` value.
+pub fn run_experiments(
+    ctx: &Ctx,
+    selected: &[&'static ExperimentSpec],
+    jobs: usize,
+    mut emit: impl FnMut(&Outcome),
+) -> Vec<Outcome> {
+    let n = selected.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if selected.iter().filter(|s| s.needs_thermal).count() >= 2 {
+        ctx.prewarm_thermal_models();
+    }
+    let jobs = jobs.clamp(1, n);
+
+    // Schedule heaviest-first; the sort is stable, so equal weights keep
+    // registry order.
+    let mut schedule: Vec<usize> = (0..n).collect();
+    schedule.sort_by_key(|&i| std::cmp::Reverse(selected[i].weight));
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Outcome>>> = Mutex::new((0..n).map(|_| None).collect());
+    let ready = Condvar::new();
+    let t0 = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
+                }
+                let i = schedule[k];
+                let spec = selected[i];
+                let started = Instant::now();
+                let start_s = started.duration_since(t0).as_secs_f64();
+                let report = catch_unwind(AssertUnwindSafe(|| (spec.run)(ctx)))
+                    .map_err(panic_message);
+                let outcome = Outcome {
+                    spec,
+                    report,
+                    start_s,
+                    wall_s: started.elapsed().as_secs_f64(),
+                };
+                let mut guard = slots.lock().expect("orchestrator slots poisoned");
+                guard[i] = Some(outcome);
+                ready.notify_all();
+            });
+        }
+
+        // The caller's thread drains results in registry order.
+        let mut out: Vec<Outcome> = Vec::with_capacity(n);
+        let mut guard = slots.lock().expect("orchestrator slots poisoned");
+        for i in 0..n {
+            while guard[i].is_none() {
+                guard = ready.wait(guard).expect("orchestrator slots poisoned");
+            }
+            let outcome = guard[i].take().expect("slot just checked");
+            drop(guard);
+            emit(&outcome);
+            out.push(outcome);
+            guard = slots.lock().expect("orchestrator slots poisoned");
+        }
+        drop(guard);
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_and_cli_names_are_unique() {
+        let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.name).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), REGISTRY.len());
+        let mut names: Vec<&str> = REGISTRY
+            .iter()
+            .flat_map(|s| s.cli_names.iter().copied())
+            .collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate CLI name");
+        assert!(!names.contains(&"all"), "`all` is reserved");
+    }
+
+    #[test]
+    fn selection_resolves_aliases_and_rejects_unknowns() {
+        assert_eq!(select(&[]).expect("all").len(), REGISTRY.len());
+        assert_eq!(select(&["all"]).expect("all").len(), REGISTRY.len());
+        let s = select(&["fig6"]).expect("alias");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].name, "fig6_fig7");
+        // Selection keeps registry order regardless of argument order.
+        let s = select(&["fig5", "table1"]).expect("two");
+        assert_eq!(s[0].name, "table1");
+        assert_eq!(s[1].name, "fig5");
+        assert!(select(&["nope"]).is_err());
+    }
+
+    fn ok_spec(ctx: &Ctx) -> ExperimentReport {
+        let _ = ctx.quick();
+        ExperimentReport {
+            sections: vec![Section::always("ok".to_owned())],
+            rows: Json::from(1i64),
+            ..Default::default()
+        }
+    }
+
+    fn panicking_spec(_ctx: &Ctx) -> ExperimentReport {
+        panic!("boom");
+    }
+
+    static FAKE: [ExperimentSpec; 2] = [
+        ExperimentSpec {
+            name: "a",
+            title: "a",
+            cli_names: &["a"],
+            needs_space: false,
+            needs_thermal: false,
+            weight: 1,
+            run: ok_spec,
+        },
+        ExperimentSpec {
+            name: "b",
+            title: "b",
+            cli_names: &["b"],
+            needs_space: false,
+            needs_thermal: false,
+            weight: 100,
+            run: panicking_spec,
+        },
+    ];
+
+    #[test]
+    fn emits_in_input_order_and_captures_panics() {
+        let ctx = Ctx::new(RunScale::quick(), true);
+        let selected: Vec<&'static ExperimentSpec> = FAKE.iter().collect();
+        let mut seen = Vec::new();
+        let outcomes = run_experiments(&ctx, &selected, 2, |o| seen.push(o.spec.name));
+        // `b` is heavier and scheduled first, but emit order follows the
+        // input (registry) order.
+        assert_eq!(seen, vec!["a", "b"]);
+        assert!(outcomes[0].report.is_ok());
+        let err = outcomes[1].report.as_ref().expect_err("panicked");
+        assert!(err.contains("boom"), "{err}");
+        assert!(outcomes.iter().all(|o| o.wall_s >= 0.0));
+    }
+
+    #[test]
+    fn jobs_are_clamped() {
+        let ctx = Ctx::new(RunScale::quick(), true);
+        let selected: Vec<&'static ExperimentSpec> = FAKE[..1].iter().collect();
+        let outcomes = run_experiments(&ctx, &selected, 0, |_| {});
+        assert_eq!(outcomes.len(), 1);
+        assert!(run_experiments(&ctx, &[], 4, |_| {}).is_empty());
+    }
+}

@@ -9,7 +9,8 @@
 //!    further — the paper reports ~9 percentage points over M3D-Het.
 
 use crate::experiments::fig8_thermal::DesignModels;
-use crate::report::Table;
+use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::report::{Json, Table};
 use m3d_sram::hetero::partition_hetero_with;
 use m3d_thermal::model::SolveStatsSummary;
 use m3d_thermal::solver::{Solution, ThermalConfig};
@@ -96,8 +97,13 @@ pub fn enlarged_structures() -> Vec<EnlargedStructure> {
 
 /// Render the enlarged-structure study.
 pub fn enlarged_text() -> String {
+    enlarged_text_from(&enlarged_structures())
+}
+
+/// Render the enlarged-structure study from precomputed rows.
+pub fn enlarged_text_from(rows: &[EnlargedStructure]) -> String {
     let mut t = Table::new(["Enlargement", "Strategy", "Budget", "M3D access", "Fits?"]);
-    for e in enlarged_structures() {
+    for e in rows {
         t.row([
             e.name.clone(),
             e.strategy.abbrev().to_owned(),
@@ -166,10 +172,14 @@ pub fn lp_top_energy_reductions() -> Vec<(StructureId, f64, f64)> {
 
 /// Render the LP-top study.
 pub fn lp_top_text() -> String {
-    let rows = lp_top_energy_reductions();
+    lp_top_text_from(&lp_top_energy_reductions())
+}
+
+/// Render the LP-top study from precomputed rows.
+pub fn lp_top_text_from(rows: &[(StructureId, f64, f64)]) -> String {
     let mut t = Table::new(["Structure", "Het energy", "LP-top energy", "Extra points"]);
     let mut sum = 0.0;
-    for (id, het, lp) in &rows {
+    for (id, het, lp) in rows {
         sum += lp - het;
         t.row([
             id.label().to_owned(),
@@ -252,8 +262,13 @@ pub fn thermal_headroom() -> (Vec<HeadroomRow>, SolveStatsSummary) {
 /// Render the thermal-headroom sweep.
 pub fn headroom_text() -> String {
     let (rows, stats) = thermal_headroom();
+    headroom_text_from(&rows, &stats)
+}
+
+/// Render the thermal-headroom sweep from precomputed rows and stats.
+pub fn headroom_text_from(rows: &[HeadroomRow], stats: &SolveStatsSummary) -> String {
     let mut t = Table::new(["Core power", "Base (C)", "M3D-Het (C)", "Delta"]);
-    for r in &rows {
+    for r in rows {
         t.row([
             format!("{:.0} W", r.power_w),
             format!("{:.1}", r.base_c),
@@ -265,6 +280,68 @@ pub fn headroom_text() -> String {
         "Section 5: thermal headroom sweep (Base vs M3D-Het, folded floorplan)\n{}[thermal solver] {stats}\n",
         t.render()
     )
+}
+
+/// Registry entry point for the Section 5 / 7.1.2 studies.
+pub fn report(_ctx: &Ctx) -> ExperimentReport {
+    let t0 = std::time::Instant::now();
+    let enlarged = enlarged_structures();
+    let t_enlarged = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let lp = lp_top_energy_reductions();
+    let t_lp = t1.elapsed().as_secs_f64();
+    let t2 = std::time::Instant::now();
+    let (headroom, stats) = thermal_headroom();
+    let t_headroom = t2.elapsed().as_secs_f64();
+    ExperimentReport {
+        sections: vec![
+            Section::always(enlarged_text_from(&enlarged)),
+            Section::always(lp_top_text_from(&lp)),
+            Section::always(headroom_text_from(&headroom, &stats)),
+        ],
+        rows: Json::obj([
+            (
+                "enlarged",
+                Json::arr(enlarged.iter().map(|e| {
+                    Json::obj([
+                        ("name", Json::from(e.name.clone())),
+                        ("strategy", Json::from(e.strategy.abbrev())),
+                        ("budget_s", Json::from(e.budget_s)),
+                        ("m3d_access_s", Json::from(e.m3d_access_s)),
+                        ("fits_budget", Json::from(e.fits_budget())),
+                    ])
+                })),
+            ),
+            (
+                "lp_top",
+                Json::arr(lp.iter().map(|(id, het, lp)| {
+                    Json::obj([
+                        ("structure", Json::from(id.label())),
+                        ("het_energy_pct", Json::from(*het)),
+                        ("lp_top_energy_pct", Json::from(*lp)),
+                    ])
+                })),
+            ),
+            (
+                "headroom",
+                Json::arr(headroom.iter().map(|r| {
+                    Json::obj([
+                        ("power_w", Json::from(r.power_w)),
+                        ("base_c", Json::from(r.base_c)),
+                        ("m3d_het_c", Json::from(r.m3d_het_c)),
+                    ])
+                })),
+            ),
+        ]),
+        meta: Json::obj([("tjmax_c", Json::from(crate::planner::TJMAX_C))]),
+        phases: vec![
+            ("enlarged", t_enlarged),
+            ("lp_top", t_lp),
+            ("headroom", t_headroom),
+        ],
+        thermal: Some(stats),
+        ..Default::default()
+    }
 }
 
 #[cfg(test)]

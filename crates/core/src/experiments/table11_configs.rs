@@ -2,8 +2,9 @@
 //! frequencies and the frequencies our own model derives (Section 6.1).
 
 use crate::configs::{DesignPoint, MulticoreDesign};
-use crate::planner::DesignSpace;
-use crate::report::Table;
+use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::planner::{feasibility_text, DesignSpace};
+use crate::report::{thermal_stats_text, Json, Table};
 
 /// Render Table 11.
 pub fn table11_text(space: &DesignSpace) -> String {
@@ -43,6 +44,64 @@ pub fn table11_text(space: &DesignSpace) -> String {
         ]);
     }
     format!("Table 11: core configurations evaluated\n{}", t.render())
+}
+
+/// Registry entry point for Table 11 plus the thermal-feasibility check.
+pub fn report(ctx: &Ctx) -> ExperimentReport {
+    let t0 = std::time::Instant::now();
+    let space = ctx.space();
+    let t_space = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let (feas, stats) = space.thermal_feasibility();
+    let t_feas = t1.elapsed().as_secs_f64();
+    let feas_section = format!(
+        "{}{}\n",
+        feasibility_text(&feas),
+        thermal_stats_text("feasibility", &stats)
+    );
+    ExperimentReport {
+        sections: vec![
+            Section::always(table11_text(space)),
+            Section::always(feas_section),
+        ],
+        rows: Json::obj([
+            (
+                "single_core",
+                Json::arr(DesignPoint::ALL.iter().map(|d| {
+                    Json::obj([
+                        ("design", Json::from(d.label())),
+                        ("paper_freq_ghz", Json::from(d.paper_frequency_ghz())),
+                        (
+                            "derived_freq_ghz",
+                            Json::from(d.derived_frequency_ghz(space)),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "multicore",
+                Json::arr(MulticoreDesign::ALL.iter().map(|m| {
+                    let cfg = m.core_config();
+                    Json::obj([
+                        ("design", Json::from(m.label())),
+                        ("cores", Json::from(m.n_cores())),
+                        ("freq_ghz", Json::from(cfg.freq_ghz)),
+                        ("issue_width", Json::from(cfg.issue_width)),
+                        ("vdd_v", Json::from(m.vdd())),
+                        ("shared_l2_pairs", Json::from(cfg.shared_l2_pairs)),
+                    ])
+                })),
+            ),
+            (
+                "thermal_feasibility",
+                Json::arr(feas.iter().map(|f| f.to_json())),
+            ),
+        ]),
+        meta: Json::obj([("tjmax_c", Json::from(crate::planner::TJMAX_C))]),
+        phases: vec![("design_space", t_space), ("feasibility", t_feas)],
+        thermal: Some(stats),
+        ..Default::default()
+    }
 }
 
 #[cfg(test)]

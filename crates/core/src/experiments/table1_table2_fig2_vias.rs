@@ -1,10 +1,12 @@
 //! Table 1 (via area overhead), Table 2 (via electrical characteristics),
 //! and Figure 2 (relative areas) — the technology-level comparisons.
 
-use crate::report::Table;
+use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::report::{Json, Table};
 use m3d_tech::node::TechnologyNode;
 use m3d_tech::refcells::{relative_to_inverter, via_overhead_pct, RefCell};
 use m3d_tech::via::{Via, ViaKind};
+use std::time::Instant;
 
 /// One row of Table 1.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +54,26 @@ pub fn table1_text() -> String {
     t.render()
 }
 
+/// Registry entry point for Table 1.
+pub fn report_table1(_ctx: &Ctx) -> ExperimentReport {
+    let t0 = Instant::now();
+    let rows = table1();
+    ExperimentReport {
+        sections: vec![Section::always(table1_text())],
+        rows: Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("structure", Json::from(r.structure.label())),
+                ("miv_overhead_pct", Json::from(r.overhead_pct[0])),
+                ("tsv_1_3um_overhead_pct", Json::from(r.overhead_pct[1])),
+                ("tsv_5um_overhead_pct", Json::from(r.overhead_pct[2])),
+            ])
+        })),
+        meta: Json::obj([("node_nm", Json::from(15i64))]),
+        phases: vec![("compute", t0.elapsed().as_secs_f64())],
+        ..Default::default()
+    }
+}
+
 /// One row of Table 2.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table2Row {
@@ -86,6 +108,27 @@ pub fn table2_text() -> String {
     let r = cell(&|v| format!("{:.3} ohm", v.resistance_ohm));
     t.row(["Resistance".to_owned(), r[0].clone(), r[1].clone(), r[2].clone()]);
     t.render()
+}
+
+/// Registry entry point for Table 2.
+pub fn report_table2(_ctx: &Ctx) -> ExperimentReport {
+    let t0 = Instant::now();
+    let rows = table2();
+    ExperimentReport {
+        sections: vec![Section::always(table2_text())],
+        rows: Json::arr(rows.iter().map(|r| {
+            Json::obj([
+                ("kind", Json::from(r.via.kind.label())),
+                ("diameter_um", Json::from(r.via.diameter_um)),
+                ("height_um", Json::from(r.via.height_um)),
+                ("capacitance_f", Json::from(r.via.capacitance_f)),
+                ("resistance_ohm", Json::from(r.via.resistance_ohm)),
+            ])
+        })),
+        meta: Json::obj([("node_nm", Json::from(15i64))]),
+        phases: vec![("compute", t0.elapsed().as_secs_f64())],
+        ..Default::default()
+    }
 }
 
 /// One bar of Figure 2: a structure's area relative to the FO1 inverter.
@@ -130,6 +173,24 @@ pub fn fig2_text() -> String {
         t.row([b.name.to_owned(), format!("{:.2}x", b.relative_area)]);
     }
     t.render()
+}
+
+/// Registry entry point for Figure 2.
+pub fn report_fig2(_ctx: &Ctx) -> ExperimentReport {
+    let t0 = Instant::now();
+    let bars = fig2();
+    ExperimentReport {
+        sections: vec![Section::always(fig2_text())],
+        rows: Json::arr(bars.iter().map(|b| {
+            Json::obj([
+                ("name", Json::from(b.name)),
+                ("relative_area", Json::from(b.relative_area)),
+            ])
+        })),
+        meta: Json::obj([("node_nm", Json::from(15i64))]),
+        phases: vec![("compute", t0.elapsed().as_secs_f64())],
+        ..Default::default()
+    }
 }
 
 #[cfg(test)]

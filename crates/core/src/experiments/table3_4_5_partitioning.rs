@@ -1,7 +1,8 @@
 //! Tables 3, 4, and 5: bit / word / port partitioning of the register file
 //! and branch prediction table, for M3D and TSV3D.
 
-use crate::report::{pct, Table};
+use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::report::{pct, reduction_json, Json, Table};
 use m3d_sram::metrics::Reduction;
 use m3d_sram::model2d::analyze_2d;
 use m3d_sram::partition3d::{applicable, partition, Strategy};
@@ -93,17 +94,82 @@ fn render(title: &str, rows: &[PartitionRow]) -> String {
 
 /// Render Table 3.
 pub fn table3_text() -> String {
-    render("Table 3: reductions through bit partitioning", &table3())
+    table3_text_from(&table3())
+}
+
+/// Render Table 3 from precomputed rows.
+pub fn table3_text_from(rows: &[PartitionRow]) -> String {
+    render("Table 3: reductions through bit partitioning", rows)
 }
 
 /// Render Table 4.
 pub fn table4_text() -> String {
-    render("Table 4: reductions through word partitioning", &table4())
+    table4_text_from(&table4())
+}
+
+/// Render Table 4 from precomputed rows.
+pub fn table4_text_from(rows: &[PartitionRow]) -> String {
+    render("Table 4: reductions through word partitioning", rows)
 }
 
 /// Render Table 5.
 pub fn table5_text() -> String {
-    render("Table 5: reductions through port partitioning", &table5())
+    table5_text_from(&table5())
+}
+
+/// Render Table 5 from precomputed rows.
+pub fn table5_text_from(rows: &[PartitionRow]) -> String {
+    render("Table 5: reductions through port partitioning", rows)
+}
+
+fn rows_json(rows: &[PartitionRow]) -> Json {
+    Json::arr(rows.iter().map(|r| {
+        Json::obj([
+            ("via", Json::from(r.via.label())),
+            ("structure", Json::from(r.structure.clone())),
+            (
+                "reduction",
+                r.reduction.as_ref().map_or(Json::Null, reduction_json),
+            ),
+        ])
+    }))
+}
+
+fn report_for(strategy: Strategy, rows: Vec<PartitionRow>, text: String, wall_s: f64) -> ExperimentReport {
+    ExperimentReport {
+        sections: vec![Section::always(text)],
+        rows: rows_json(&rows),
+        meta: Json::obj([
+            ("strategy", Json::from(strategy.abbrev())),
+            ("node_nm", Json::from(22i64)),
+        ]),
+        phases: vec![("compute", wall_s)],
+        ..Default::default()
+    }
+}
+
+/// Registry entry point for Table 3.
+pub fn report_table3(_ctx: &Ctx) -> ExperimentReport {
+    let t0 = std::time::Instant::now();
+    let rows = table3();
+    let text = table3_text_from(&rows);
+    report_for(Strategy::Bit, rows, text, t0.elapsed().as_secs_f64())
+}
+
+/// Registry entry point for Table 4.
+pub fn report_table4(_ctx: &Ctx) -> ExperimentReport {
+    let t0 = std::time::Instant::now();
+    let rows = table4();
+    let text = table4_text_from(&rows);
+    report_for(Strategy::Word, rows, text, t0.elapsed().as_secs_f64())
+}
+
+/// Registry entry point for Table 5.
+pub fn report_table5(_ctx: &Ctx) -> ExperimentReport {
+    let t0 = std::time::Instant::now();
+    let rows = table5();
+    let text = table5_text_from(&rows);
+    report_for(Strategy::Port, rows, text, t0.elapsed().as_secs_f64())
 }
 
 #[cfg(test)]

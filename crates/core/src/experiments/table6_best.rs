@@ -1,8 +1,9 @@
 //! Table 6: best iso-layer partition method for each structure, with the
 //! reductions in latency, energy, and footprint for M3D and TSV3D.
 
+use crate::experiments::registry::{Ctx, ExperimentReport, Section};
 use crate::planner::DesignSpace;
-use crate::report::{pct, Table};
+use crate::report::{pct, Json, Table};
 
 /// Render Table 6 from a computed design space.
 pub fn table6_text(space: &DesignSpace) -> String {
@@ -34,6 +35,34 @@ pub fn table6_text(space: &DesignSpace) -> String {
         "Table 6: best partition per structure (M3D vs TSV3D)\n{}",
         t.render()
     )
+}
+
+/// Registry entry point for Table 6.
+pub fn report(ctx: &Ctx) -> ExperimentReport {
+    let t0 = std::time::Instant::now();
+    let space = ctx.space();
+    let t_space = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let text = table6_text(space);
+    ExperimentReport {
+        sections: vec![Section::always(text)],
+        rows: Json::obj([
+            (
+                "iso_best",
+                Json::arr(space.iso_best.iter().map(|p| p.to_json())),
+            ),
+            (
+                "tsv_best",
+                Json::arr(space.tsv_best.iter().map(|p| p.to_json())),
+            ),
+        ]),
+        meta: Json::obj([("structures", Json::from(space.iso_best.len()))]),
+        phases: vec![
+            ("design_space", t_space),
+            ("render", t1.elapsed().as_secs_f64()),
+        ],
+        ..Default::default()
+    }
 }
 
 #[cfg(test)]

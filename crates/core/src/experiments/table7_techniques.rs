@@ -2,7 +2,8 @@
 //! verified against the behaviour of the implemented planner and logic
 //! partitioner.
 
-use crate::report::Table;
+use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::report::{Json, Table};
 
 /// One row of Table 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +46,22 @@ pub fn table7_text() -> String {
         "Table 7: partitioning techniques for a hetero-layer M3D core\n{}",
         t.render()
     )
+}
+
+/// Registry entry point for Table 7.
+pub fn report(_ctx: &Ctx) -> ExperimentReport {
+    let t0 = std::time::Instant::now();
+    ExperimentReport {
+        sections: vec![Section::always(table7_text())],
+        rows: Json::arr(table7().iter().map(|r| {
+            Json::obj([
+                ("class", Json::from(r.class)),
+                ("technique", Json::from(r.technique)),
+            ])
+        })),
+        phases: vec![("compute", t0.elapsed().as_secs_f64())],
+        ..Default::default()
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,9 @@
 //! Table 8: reductions with the best hetero-layer partitioning (slow top
 //! layer) compared to a 2D layout.
 
+use crate::experiments::registry::{Ctx, ExperimentReport, Section};
 use crate::planner::DesignSpace;
-use crate::report::{pct, Table};
+use crate::report::{pct, Json, Table};
 
 /// Render Table 8 from a computed design space.
 pub fn table8_text(space: &DesignSpace) -> String {
@@ -24,6 +25,25 @@ pub fn table8_text(space: &DesignSpace) -> String {
         "Table 8: best hetero-layer partitioning vs 2D\n{}",
         t.render()
     )
+}
+
+/// Registry entry point for Table 8.
+pub fn report(ctx: &Ctx) -> ExperimentReport {
+    let t0 = std::time::Instant::now();
+    let space = ctx.space();
+    let t_space = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let text = table8_text(space);
+    ExperimentReport {
+        sections: vec![Section::always(text)],
+        rows: Json::arr(space.het_best.iter().map(|p| p.to_json())),
+        meta: Json::obj([("structures", Json::from(space.het_best.len()))]),
+        phases: vec![
+            ("design_space", t_space),
+            ("render", t1.elapsed().as_secs_f64()),
+        ],
+        ..Default::default()
+    }
 }
 
 #[cfg(test)]

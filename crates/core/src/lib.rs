@@ -22,7 +22,7 @@
 //! assert_eq!(rf.structure.label(), "RF");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod configs;

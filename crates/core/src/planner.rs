@@ -2,6 +2,7 @@
 //! storage structure and derive the design frequencies (Sections 3–4, 6.1).
 
 use crate::configs::DesignPoint;
+use crate::report::{reduction_json, Json};
 use m3d_sram::hetero::{partition_hetero, HeteroPartitioned};
 use m3d_sram::metrics::Reduction;
 use m3d_sram::model2d::analyze_2d;
@@ -37,6 +38,18 @@ pub struct PlannedStructure {
     pub base_access_s: f64,
 }
 
+impl PlannedStructure {
+    /// JSON form for the `repro` artifacts.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("structure", Json::from(self.structure.label())),
+            ("strategy", Json::from(self.strategy.abbrev())),
+            ("reduction", reduction_json(&self.reduction)),
+            ("base_access_s", Json::from(self.base_access_s)),
+        ])
+    }
+}
+
 /// One structure's hetero-layer outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlannedHetero {
@@ -46,6 +59,20 @@ pub struct PlannedHetero {
     pub design: HeteroPartitioned,
     /// Reductions vs the 2D baseline.
     pub reduction: Reduction,
+}
+
+impl PlannedHetero {
+    /// JSON form for the `repro` artifacts.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("structure", Json::from(self.structure.label())),
+            ("strategy", Json::from(self.design.strategy.abbrev())),
+            ("bottom_share", Json::from(self.design.bottom_share)),
+            ("top_share", Json::from(self.design.top_share)),
+            ("top_upsize", Json::from(self.design.top_upsize)),
+            ("reduction", reduction_json(&self.reduction)),
+        ])
+    }
 }
 
 /// Frequencies derived from our own model's reductions (Section 6.1 logic).
@@ -247,6 +274,32 @@ pub struct ThermalFeasibility {
     pub peak_c: f64,
     /// Whether the peak stays at or below [`TJMAX_C`].
     pub feasible: bool,
+}
+
+impl ThermalFeasibility {
+    /// JSON form for the `repro` artifacts.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("design", Json::from(self.design.label())),
+            ("peak_c", Json::from(self.peak_c)),
+            ("feasible", Json::from(self.feasible)),
+        ])
+    }
+}
+
+/// Render the thermal-feasibility rows exactly as the `repro` report prints
+/// them (header plus one line per design point).
+pub fn feasibility_text(rows: &[ThermalFeasibility]) -> String {
+    let mut out = format!("Thermal feasibility at nominal power (Tjmax {TJMAX_C} C):\n");
+    for f in rows {
+        out.push_str(&format!(
+            "  {:<14} {:>6.1} C  {}\n",
+            f.design.label(),
+            f.peak_c,
+            if f.feasible { "ok" } else { "EXCEEDS Tjmax" }
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

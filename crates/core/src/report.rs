@@ -1,4 +1,5 @@
-//! Minimal fixed-width table formatting for the experiment reports.
+//! Minimal fixed-width table formatting for the experiment reports, plus a
+//! dependency-free JSON value type used for the `repro` artifacts.
 
 /// A simple text table builder.
 #[derive(Debug, Clone, Default)]
@@ -57,6 +58,187 @@ impl Table {
     }
 }
 
+/// A JSON value, built and rendered without external dependencies.
+///
+/// The experiment drivers convert their typed rows into `Json` so the
+/// orchestrator can write machine-readable artifacts next to the rendered
+/// text tables. Rendering is deterministic: object keys keep insertion
+/// order and numbers use Rust's shortest round-trip `Display` form, so two
+/// semantically equal values render to identical bytes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Json {
+    /// `null` (also the rendering of non-finite numbers).
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact rather than going through `f64`).
+    Int(i64),
+    /// A floating-point number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on output.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Look up a top-level key (objects only).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Render as pretty-printed JSON (two-space indent, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(v) if v.is_finite() => {
+                // `Display` for f64 is shortest-round-trip decimal notation,
+                // which is always valid JSON.
+                out.push_str(&v.to_string());
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => Self::write_escaped(s, out),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    Self::pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                Self::pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    Self::pad(out, indent + 1);
+                    Self::write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                Self::pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    fn pad(out: &mut String, indent: usize) {
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+
+    fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Int(v.try_into().unwrap_or(i64::MAX))
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Int(v.try_into().unwrap_or(i64::MAX))
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+/// Convert a latency/energy/footprint reduction into a JSON object.
+pub fn reduction_json(r: &m3d_sram::metrics::Reduction) -> Json {
+    Json::obj([
+        ("latency_pct", Json::from(r.latency_pct)),
+        ("energy_pct", Json::from(r.energy_pct)),
+        ("footprint_pct", Json::from(r.footprint_pct)),
+    ])
+}
+
+/// Convert a thermal-solver summary into a JSON object for the artifacts.
+pub fn thermal_stats_json(s: &m3d_thermal::model::SolveStatsSummary) -> Json {
+    Json::obj([
+        ("solves", Json::from(s.solves)),
+        ("total_iterations", Json::from(s.total_iterations)),
+        ("warm_starts", Json::from(s.warm_starts)),
+        ("cache_hits", Json::from(s.cache_hits)),
+        ("max_residual_k", Json::from(s.max_residual_k)),
+        ("non_converged", Json::from(s.non_converged)),
+        ("total_wall_s", Json::from(s.total_wall_s)),
+    ])
+}
+
 /// Format a percentage with sign, one decimal.
 pub fn pct(v: f64) -> String {
     format!("{v:+.1}%")
@@ -103,6 +285,64 @@ mod tests {
         assert_eq!(pct(41.0), "+41.0%");
         assert_eq!(pct(-3.25), "-3.2%");
         assert_eq!(ratio(1.256), "1.26");
+    }
+
+    #[test]
+    fn json_renders_scalars_and_nesting() {
+        let v = Json::obj([
+            ("name", Json::from("fig8")),
+            ("ok", Json::from(true)),
+            ("count", Json::from(42usize)),
+            ("peak_c", Json::from(66.5)),
+            ("none", Json::Null),
+            ("rows", Json::arr([Json::from(1.5), Json::from("x")])),
+            ("empty", Json::arr([])),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"name\": \"fig8\""));
+        assert!(s.contains("\"ok\": true"));
+        assert!(s.contains("\"count\": 42"));
+        assert!(s.contains("\"peak_c\": 66.5"));
+        assert!(s.contains("\"none\": null"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_escapes_strings_and_drops_non_finite() {
+        let v = Json::obj([
+            ("quote", Json::from("a\"b\\c\nd")),
+            ("nan", Json::from(f64::NAN)),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""));
+        assert!(s.contains("\"nan\": null"));
+    }
+
+    #[test]
+    fn json_get_and_determinism() {
+        let v = Json::obj([("a", Json::from(1i64)), ("b", Json::from(2i64))]);
+        assert_eq!(v.get("b"), Some(&Json::Int(2)));
+        assert_eq!(v.get("c"), None);
+        assert_eq!(v.render(), v.clone().render());
+    }
+
+    #[test]
+    fn thermal_stats_json_carries_all_fields() {
+        let mut s = m3d_thermal::model::SolveStatsSummary::default();
+        s.absorb(&m3d_thermal::model::SolveStats {
+            iterations: 7,
+            residual_k: 1.0e-5,
+            converged: true,
+            warm_start: false,
+            threads: 1,
+            assembly_cache_hit: false,
+            wall_s: 0.002,
+        });
+        let j = thermal_stats_json(&s);
+        assert_eq!(j.get("solves"), Some(&Json::Int(1)));
+        assert_eq!(j.get("total_iterations"), Some(&Json::Int(7)));
+        assert_eq!(j.get("non_converged"), Some(&Json::Int(0)));
     }
 
     #[test]
