@@ -26,5 +26,16 @@ grep -q '"errors": 0' target/repro-ci/manifest.json || {
   echo "ci.sh: manifest reports experiment errors" >&2
   exit 1
 }
+grep -q '"metrics"' target/repro-ci/manifest.json || {
+  echo "ci.sh: manifest lacks the aggregated metrics block" >&2
+  exit 1
+}
+
+echo "== perf_baseline --check (counter-drift gate) =="
+# Deterministic integer counters (solver sweeps, warm-start hits, search
+# candidates, µops) must match the committed baseline exactly; wall times
+# are informational. Refresh intentional changes with:
+#   ./target/release/perf_baseline --write BENCH_repro.json
+./target/release/perf_baseline --check BENCH_repro.json
 
 echo "== ci.sh: all checks passed =="

@@ -8,7 +8,7 @@
 
 use m3d_core::experiments::registry::Outcome;
 use m3d_core::experiments::RunScale;
-use m3d_core::report::{thermal_stats_json, Json};
+use m3d_core::report::{metrics_json, thermal_stats_json, Json};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -16,6 +16,10 @@ use std::process::Command;
 pub const SINGLE_CORE_SEED: u64 = 0xF16;
 /// Fixed trace-generator seed of the multicore study.
 pub const MULTICORE_SEED: u64 = 0xF19;
+/// Artifact schema version. Bumped to 2 when the per-experiment `metrics`
+/// block and the manifest's aggregated `metrics` landed (see
+/// EXPERIMENTS.md).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Parameters of one `repro` invocation, recorded in the manifest.
 #[derive(Debug, Clone)]
@@ -46,11 +50,16 @@ pub fn git_rev() -> String {
 /// The JSON artifact for one experiment outcome.
 pub fn experiment_json(o: &Outcome) -> Json {
     let mut fields = vec![
+        ("schema_version".to_owned(), Json::from(SCHEMA_VERSION)),
         ("name".to_owned(), Json::from(o.spec.name)),
         ("title".to_owned(), Json::from(o.spec.title)),
         ("ok".to_owned(), Json::from(o.report.is_ok())),
         ("start_s".to_owned(), Json::from(o.start_s)),
         ("wall_s".to_owned(), Json::from(o.wall_s)),
+        (
+            "metrics".to_owned(),
+            o.metrics.as_ref().map_or(Json::Null, metrics_json),
+        ),
     ];
     match &o.report {
         Ok(r) => {
@@ -111,7 +120,16 @@ pub fn manifest_json(info: &RunInfo, outcomes: &[Outcome], total_wall_s: f64) ->
     } else {
         0.0
     };
+    // Aggregate per-experiment metrics into one run-wide snapshot; `None`
+    // when instrumentation was off for the whole run.
+    let mut aggregated: Option<m3d_obs::MetricsSnapshot> = None;
+    for o in outcomes {
+        if let Some(m) = &o.metrics {
+            aggregated.get_or_insert_with(Default::default).merge_from(m);
+        }
+    }
     Json::obj([
+        ("schema_version", Json::from(SCHEMA_VERSION)),
         ("tool", Json::from("repro")),
         ("git_rev", Json::from(git_rev())),
         ("quick", Json::from(info.quick)),
@@ -140,6 +158,10 @@ pub fn manifest_json(info: &RunInfo, outcomes: &[Outcome], total_wall_s: f64) ->
         ("max_overlap", Json::from(max_overlap(outcomes))),
         ("uops_total", Json::from(uops_total)),
         ("uops_per_s", Json::from(uops_per_s)),
+        (
+            "metrics",
+            aggregated.as_ref().map_or(Json::Null, metrics_json),
+        ),
         (
             "experiments",
             Json::arr(outcomes.iter().map(|o| {
@@ -170,10 +192,15 @@ pub fn write_artifacts(
     std::fs::create_dir_all(dir)?;
     for o in outcomes {
         let path = dir.join(format!("{}.json", o.spec.name));
-        std::fs::write(&path, experiment_json(o).render())?;
+        let body = experiment_json(o).render();
+        m3d_obs::add("artifacts.bytes_written", body.len() as u64);
+        std::fs::write(&path, body)?;
     }
     let manifest = dir.join("manifest.json");
-    std::fs::write(&manifest, manifest_json(info, outcomes, total_wall_s).render())?;
+    let body = manifest_json(info, outcomes, total_wall_s).render();
+    m3d_obs::add("artifacts.bytes_written", body.len() as u64);
+    m3d_obs::add("artifacts.files_written", outcomes.len() as u64 + 1);
+    std::fs::write(&manifest, body)?;
     Ok(manifest)
 }
 
@@ -195,6 +222,7 @@ mod tests {
             },
             start_s,
             wall_s,
+            metrics: None,
         }
     }
 
@@ -236,6 +264,64 @@ mod tests {
         };
         assert_eq!(exps.len(), 2);
         assert_eq!(exps[0].get("artifact"), Some(&Json::from("table1.json")));
+    }
+
+    #[test]
+    fn metrics_blocks_round_trip_through_artifacts() {
+        let snap = m3d_obs::MetricsSnapshot {
+            counters: vec![
+                ("thermal.iterations".to_owned(), 321),
+                ("thermal.warm_start.hits".to_owned(), 4),
+            ],
+            histograms: vec![m3d_obs::HistogramSnapshot {
+                name: "thermal.residual_k".to_owned(),
+                count: 2,
+                sum: 3.0e-5,
+                min: 1.0e-5,
+                max: 2.0e-5,
+                buckets: vec![(-17, 2)],
+            }],
+        };
+        let mut o = outcome("table1", 0.0, 0.5, true);
+        o.metrics = Some(snap.clone());
+        let j = experiment_json(&o);
+        assert_eq!(j.get("schema_version"), Some(&Json::Int(2)));
+        let parsed = Json::parse(&j.render()).expect("artifact parses");
+        let back = m3d_core::report::metrics_from_json(
+            parsed.get("metrics").expect("metrics block"),
+        )
+        .expect("decodes");
+        assert_eq!(back, snap);
+
+        // The manifest aggregates two outcomes' snapshots.
+        let mut o2 = outcome("table2", 0.0, 0.5, true);
+        o2.metrics = Some(snap.clone());
+        let info = RunInfo {
+            quick: true,
+            jobs: 1,
+            scale: m3d_core::experiments::RunScale::quick(),
+            wanted: Vec::new(),
+        };
+        let m = manifest_json(&info, &[o, o2], 1.0);
+        let agg = m3d_core::report::metrics_from_json(m.get("metrics").expect("agg"))
+            .expect("decodes");
+        assert_eq!(agg.counter("thermal.iterations"), Some(642));
+        assert_eq!(agg.histogram("thermal.residual_k").map(|h| h.count), Some(4));
+    }
+
+    #[test]
+    fn artifacts_without_metrics_write_null_blocks() {
+        let o = outcome("table1", 0.0, 0.5, true);
+        let j = experiment_json(&o);
+        assert_eq!(j.get("metrics"), Some(&Json::Null));
+        let info = RunInfo {
+            quick: true,
+            jobs: 1,
+            scale: m3d_core::experiments::RunScale::quick(),
+            wanted: Vec::new(),
+        };
+        let m = manifest_json(&info, std::slice::from_ref(&o), 1.0);
+        assert_eq!(m.get("metrics"), Some(&Json::Null));
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! `perf_baseline` — measure or gate the repository's performance baseline.
+//!
+//! # Usage
+//!
+//! ```text
+//! perf_baseline --write FILE   # measure and (over)write the baseline
+//! perf_baseline --check FILE   # measure and fail on counter drift
+//! ```
+//!
+//! The measurement runs the schedule-independent experiment subset at
+//! `--quick` scale with one worker and records, per experiment, the wall
+//! time plus the deterministic integer counters (solver sweeps, warm-start
+//! hits/misses, SRAM candidates evaluated/pruned, µops simulated). It also
+//! probes the instrumentation overhead of a serial thermal solve with
+//! collection off vs on.
+//!
+//! `--check` compares only the integer counters against the committed
+//! file — a drift means the algorithms changed behaviour, not just speed —
+//! and exits `1` listing every drifted counter. Wall times and the
+//! overhead probe are informational and never gated.
+
+use m3d_bench::baseline::{baseline_from_json, baseline_json, drift, measure};
+use m3d_core::report::Json;
+use std::path::Path;
+
+fn usage() -> ! {
+    eprintln!("usage: perf_baseline --write FILE | --check FILE");
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, path) = match argv.as_slice() {
+        [m, p] if m == "--write" || m == "--check" => (m.as_str(), Path::new(p)),
+        _ => usage(),
+    };
+
+    eprintln!("[perf_baseline] measuring (quick scale, 1 worker)...");
+    let current = measure();
+    for e in &current.experiments {
+        eprintln!("[perf_baseline]   {:<8} {:.3}s", e.name, e.wall_s);
+    }
+    eprintln!(
+        "[perf_baseline] obs overhead on a serial thermal solve: \
+         {:.3} ms off, {:.3} ms on ({:+.2}%)",
+        current.solve_disabled_s * 1e3,
+        current.solve_enabled_s * 1e3,
+        current.overhead_pct()
+    );
+
+    match mode {
+        "--write" => {
+            let body = baseline_json(&current).render() + "\n";
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("[perf_baseline] cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[perf_baseline] wrote {}", path.display());
+        }
+        "--check" => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("[perf_baseline] cannot read {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            };
+            let committed = Json::parse(&text)
+                .map_err(|e| e.to_string())
+                .and_then(|j| baseline_from_json(&j))
+                .unwrap_or_else(|e| {
+                    eprintln!("[perf_baseline] {} is not a baseline: {e}", path.display());
+                    std::process::exit(1);
+                });
+            let drifts = drift(&committed, &current);
+            if drifts.is_empty() {
+                eprintln!(
+                    "[perf_baseline] OK: no counter drift against {}",
+                    path.display()
+                );
+            } else {
+                eprintln!("[perf_baseline] FAIL: counter drift detected:");
+                for d in &drifts {
+                    eprintln!("[perf_baseline]   {d}");
+                }
+                eprintln!(
+                    "[perf_baseline] if the change is intentional, refresh the \
+                     baseline with `perf_baseline --write {}`",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+        _ => unreachable!(),
+    }
+}

@@ -24,12 +24,23 @@
 //! * `--quick` — small simulation windows (50k warm-up / 60k measured µops
 //!   instead of 250k/150k) and a 6-app subset for the Figure 8 thermal
 //!   study; seconds instead of minutes.
-//! * `--jobs N` (or `--jobs=N`) — worker-pool size. Defaults to the
-//!   machine's available parallelism. `--jobs 1` reproduces the historical
-//!   serial output byte-for-byte; any N produces identical rendered tables
-//!   (only wall-clock numbers vary).
+//! * `--jobs N` (or `--jobs=N`) — worker-pool size, 1 to 64. Defaults to
+//!   the machine's available parallelism. `--jobs 1` reproduces the
+//!   historical serial output byte-for-byte; any N produces identical
+//!   rendered tables (only wall-clock numbers vary).
 //! * `--out-dir DIR` (or `--out-dir=DIR`) — write JSON artifacts under
-//!   `DIR` (created if missing).
+//!   `DIR` (created if missing). Enables instrumentation so artifacts carry
+//!   `metrics` blocks.
+//! * `--metrics` — enable instrumentation and print a metric table (solver
+//!   iterations, warm-start hits, search candidates pruned, ...) to stderr
+//!   at the end of the run.
+//! * `--trace-out FILE` (or `--trace-out=FILE`) — enable instrumentation
+//!   and write a Chrome `trace_event` JSON file with per-experiment and
+//!   per-solver spans on the worker lanes; open it in Perfetto
+//!   (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Instrumentation never touches stdout: rendered tables stay
+//! byte-identical with and without `--metrics`/`--trace-out`.
 //!
 //! # Artifact layout
 //!
@@ -54,11 +65,17 @@ use m3d_core::experiments::RunScale;
 use std::path::PathBuf;
 use std::time::Instant;
 
+/// Worker-pool sizes beyond this are a typo, not a machine: the registry
+/// holds 16 experiments, so extra workers would only idle.
+const MAX_JOBS: usize = 64;
+
 /// Parsed command line.
 struct Args {
     quick: bool,
     jobs: usize,
     out_dir: Option<PathBuf>,
+    metrics: bool,
+    trace_out: Option<PathBuf>,
     wanted: Vec<String>,
 }
 
@@ -73,6 +90,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         quick: false,
         jobs: default_jobs(),
         out_dir: None,
+        metrics: false,
+        trace_out: None,
         wanted: Vec::new(),
     };
     let mut it = argv.iter();
@@ -91,14 +110,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         };
         if a == "--quick" {
             args.quick = true;
+        } else if a == "--metrics" {
+            args.metrics = true;
         } else if let Some(v) = flag_value("--jobs")? {
             args.jobs = v
                 .parse::<usize>()
                 .ok()
-                .filter(|&n| n >= 1)
-                .ok_or_else(|| format!("--jobs needs a positive integer, got `{v}`"))?;
+                .filter(|&n| (1..=MAX_JOBS).contains(&n))
+                .ok_or_else(|| {
+                    format!("--jobs needs an integer between 1 and {MAX_JOBS}, got `{v}`")
+                })?;
         } else if let Some(v) = flag_value("--out-dir")? {
             args.out_dir = Some(PathBuf::from(v));
+        } else if let Some(v) = flag_value("--trace-out")? {
+            args.trace_out = Some(PathBuf::from(v));
         } else if a.starts_with('-') {
             return Err(format!("unknown flag `{a}` (see --help in the rustdoc)"));
         } else {
@@ -114,7 +139,10 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("[repro] {e}");
-            eprintln!("usage: repro [--quick] [--jobs N] [--out-dir DIR] [experiment ...]");
+            eprintln!(
+                "usage: repro [--quick] [--jobs N] [--out-dir DIR] [--metrics] \
+                 [--trace-out FILE] [experiment ...]"
+            );
             std::process::exit(2);
         }
     };
@@ -128,6 +156,14 @@ fn main() {
     };
     let want =
         |name: &str| wanted.is_empty() || wanted.iter().any(|w| *w == name || *w == "all");
+
+    // Any observability consumer turns collection on; without one, every
+    // instrumentation site is a single relaxed atomic load.
+    let instrument = args.metrics || args.trace_out.is_some() || args.out_dir.is_some();
+    if instrument {
+        m3d_obs::enable();
+        m3d_obs::label_thread("repro-main");
+    }
 
     let scale = if args.quick {
         RunScale::quick()
@@ -163,6 +199,23 @@ fn main() {
             ),
             Err(e) => {
                 eprintln!("[repro] failed writing artifacts to {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if args.metrics {
+        eprintln!("[repro] metrics over the whole run:");
+        eprint!("{}", m3d_core::report::metrics_text(&m3d_obs::snapshot()));
+    }
+    if let Some(path) = &args.trace_out {
+        match m3d_obs::write_chrome_trace(path) {
+            Ok(n) => eprintln!(
+                "[repro] wrote {n} trace event(s) to {} (open in https://ui.perfetto.dev)",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("[repro] failed writing trace to {}: {e}", path.display());
                 std::process::exit(1);
             }
         }

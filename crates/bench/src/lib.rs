@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 
 pub mod artifacts;
+pub mod baseline;
 
 use m3d_core::planner::DesignSpace;
 use std::sync::OnceLock;

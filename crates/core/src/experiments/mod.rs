@@ -88,12 +88,15 @@ where
             .collect();
     }
     let n = items.len();
+    // Fan-out keeps attributing counters to the experiment that called us.
+    let task = m3d_obs::current_task();
     let mut out: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let range = (w * n / threads)..((w + 1) * n / threads);
-                let (f, init) = (&f, &init);
+                let (f, init, task) = (&f, &init, &task);
                 scope.spawn(move || {
+                    let _task = task.as_ref().map(|t| t.enter());
                     let mut state = init();
                     let chunk: Vec<R> = range
                         .clone()

@@ -350,6 +350,9 @@ pub struct Outcome {
     pub start_s: f64,
     /// Wall time of this experiment, seconds.
     pub wall_s: f64,
+    /// Counters and histograms attributed to this experiment, when
+    /// instrumentation was enabled for the run (`None` otherwise).
+    pub metrics: Option<m3d_obs::MetricsSnapshot>,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -400,27 +403,44 @@ pub fn run_experiments(
     let t0 = Instant::now();
 
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let k = next.fetch_add(1, Ordering::Relaxed);
-                if k >= n {
-                    break;
+        for lane in 0..jobs {
+            let (next, slots, ready, schedule) = (&next, &slots, &ready, &schedule);
+            scope.spawn(move || {
+                m3d_obs::label_thread(format!("repro-worker-{lane}"));
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    let i = schedule[k];
+                    let spec = selected[i];
+                    // All counters emitted while this driver runs (on this
+                    // thread or any worker that re-enters the task) are
+                    // attributed to this experiment.
+                    let task = m3d_obs::TaskMetrics::new(spec.name);
+                    let started = Instant::now();
+                    let start_s = started.duration_since(t0).as_secs_f64();
+                    let report = {
+                        let _task = task.enter();
+                        let _span = m3d_obs::span("registry", spec.name);
+                        let report = catch_unwind(AssertUnwindSafe(|| (spec.run)(ctx)))
+                            .map_err(panic_message);
+                        if let Ok(r) = &report {
+                            m3d_obs::add("core.uops", r.uops);
+                        }
+                        report
+                    };
+                    let outcome = Outcome {
+                        spec,
+                        report,
+                        start_s,
+                        wall_s: started.elapsed().as_secs_f64(),
+                        metrics: m3d_obs::is_enabled().then(|| task.snapshot()),
+                    };
+                    let mut guard = slots.lock().expect("orchestrator slots poisoned");
+                    guard[i] = Some(outcome);
+                    ready.notify_all();
                 }
-                let i = schedule[k];
-                let spec = selected[i];
-                let started = Instant::now();
-                let start_s = started.duration_since(t0).as_secs_f64();
-                let report = catch_unwind(AssertUnwindSafe(|| (spec.run)(ctx)))
-                    .map_err(panic_message);
-                let outcome = Outcome {
-                    spec,
-                    report,
-                    start_s,
-                    wall_s: started.elapsed().as_secs_f64(),
-                };
-                let mut guard = slots.lock().expect("orchestrator slots poisoned");
-                guard[i] = Some(outcome);
-                ready.notify_all();
             });
         }
 

@@ -109,6 +109,7 @@ impl DesignSpace {
     /// Run the planner over all twelve structures. Takes a second or two
     /// (it evaluates every strategy and the hetero search spaces).
     pub fn compute() -> Self {
+        let _span = m3d_obs::span("planner", "design_space");
         let node = TechnologyNode::n22();
         let mut iso_best = Vec::new();
         let mut tsv_best = Vec::new();
@@ -215,6 +216,7 @@ impl DesignSpace {
     /// from each other, so the whole check costs little more than one
     /// solve per stack.
     pub fn thermal_feasibility(&self) -> (Vec<ThermalFeasibility>, SolveStatsSummary) {
+        let _span = m3d_obs::span("planner", "thermal_feasibility");
         let tcfg = ThermalConfig::default();
         let designs = crate::experiments::fig8_thermal::DesignModels::build(&tcfg);
         let mut stats = SolveStatsSummary::default();

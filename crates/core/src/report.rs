@@ -156,6 +156,24 @@ impl Json {
         }
     }
 
+    /// Parse a JSON document (the subset this type renders: no exponents are
+    /// *required* but they are accepted; `\uXXXX` escapes including
+    /// surrogate pairs are decoded). Used by the `perf_baseline` drift gate
+    /// and the artifact round-trip tests.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
     fn write_escaped(s: &str, out: &mut String) {
         out.push('"');
         for c in s.chars() {
@@ -172,6 +190,213 @@ impl Json {
             }
         }
         out.push('"');
+    }
+}
+
+/// Recursive-descent JSON parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected `{}` at byte {}", b as char, self.pos)),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, String> {
+        let end = self.pos + 4;
+        let s = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+        let v = u16::from_str_radix(s, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err("lone high surrogate".to_owned());
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                let cp = 0x10000
+                                    + ((hi as u32 - 0xD800) << 10)
+                                    + (lo as u32).wrapping_sub(0xDC00);
+                                char::from_u32(cp).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(hi as u32).ok_or("invalid \\u escape")?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // on char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
     }
 }
 
@@ -237,6 +462,123 @@ pub fn thermal_stats_json(s: &m3d_thermal::model::SolveStatsSummary) -> Json {
         ("non_converged", Json::from(s.non_converged)),
         ("total_wall_s", Json::from(s.total_wall_s)),
     ])
+}
+
+/// Convert an observability snapshot into a JSON object for the artifacts:
+/// `{"counters": {name: value, ...}, "histograms": {name: {count, sum, min,
+/// max, mean, buckets: [[log2, count], ...]}, ...}}`. Names stay sorted, so
+/// rendering is deterministic.
+pub fn metrics_json(snap: &m3d_obs::MetricsSnapshot) -> Json {
+    let counters = Json::Obj(
+        snap.counters
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::from(*v)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        snap.histograms
+            .iter()
+            .map(|h| {
+                (
+                    h.name.clone(),
+                    Json::obj([
+                        ("count", Json::from(h.count)),
+                        ("sum", Json::from(h.sum)),
+                        ("min", Json::from(h.min)),
+                        ("max", Json::from(h.max)),
+                        ("mean", Json::from(h.mean())),
+                        (
+                            "buckets",
+                            Json::arr(h.buckets.iter().map(|(b, c)| {
+                                Json::arr([Json::from(i64::from(*b)), Json::from(*c)])
+                            })),
+                        ),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj([("counters", counters), ("histograms", histograms)])
+}
+
+/// Rebuild a [`m3d_obs::MetricsSnapshot`] from [`metrics_json`] output.
+/// Unknown fields are ignored; malformed structure is an error.
+pub fn metrics_from_json(j: &Json) -> Result<m3d_obs::MetricsSnapshot, String> {
+    let as_u64 = |v: &Json| -> Result<u64, String> {
+        match v {
+            Json::Int(i) if *i >= 0 => Ok(*i as u64),
+            other => Err(format!("expected non-negative integer, got {other:?}")),
+        }
+    };
+    let as_f64 = |v: &Json| -> Result<f64, String> {
+        match v {
+            Json::Num(f) => Ok(*f),
+            Json::Int(i) => Ok(*i as f64),
+            Json::Null => Ok(f64::NAN), // non-finite floats render as null
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    };
+    let mut snap = m3d_obs::MetricsSnapshot::default();
+    if let Some(Json::Obj(fields)) = j.get("counters") {
+        for (name, v) in fields {
+            snap.counters.push((name.clone(), as_u64(v)?));
+        }
+    }
+    if let Some(Json::Obj(fields)) = j.get("histograms") {
+        for (name, h) in fields {
+            let field = |k: &str| h.get(k).ok_or_else(|| format!("{name}: missing {k}"));
+            let mut buckets = Vec::new();
+            if let Json::Arr(pairs) = field("buckets")? {
+                for p in pairs {
+                    if let Json::Arr(bc) = p {
+                        if bc.len() == 2 {
+                            let b = match &bc[0] {
+                                Json::Int(i) => i32::try_from(*i)
+                                    .map_err(|_| format!("{name}: bucket out of range"))?,
+                                other => {
+                                    return Err(format!("{name}: bad bucket {other:?}"))
+                                }
+                            };
+                            buckets.push((b, as_u64(&bc[1])?));
+                            continue;
+                        }
+                    }
+                    return Err(format!("{name}: bucket pairs must be [log2, count]"));
+                }
+            }
+            snap.histograms.push(m3d_obs::HistogramSnapshot {
+                name: name.clone(),
+                count: as_u64(field("count")?)?,
+                sum: as_f64(field("sum")?)?,
+                min: as_f64(field("min")?)?,
+                max: as_f64(field("max")?)?,
+                buckets,
+            });
+        }
+    }
+    Ok(snap)
+}
+
+/// Render a snapshot as an aligned two-column table (the `--metrics` stderr
+/// report): counters first, then histogram summary lines.
+pub fn metrics_text(snap: &m3d_obs::MetricsSnapshot) -> String {
+    let mut t = Table::new(["metric", "value"]);
+    for (name, v) in &snap.counters {
+        t.row([name.clone(), v.to_string()]);
+    }
+    for h in &snap.histograms {
+        t.row([
+            h.name.clone(),
+            format!(
+                "n={} min={:.3e} mean={:.3e} max={:.3e}",
+                h.count,
+                h.min,
+                h.mean(),
+                h.max
+            ),
+        ]);
+    }
+    t.render()
 }
 
 /// Format a percentage with sign, one decimal.
@@ -343,6 +685,115 @@ mod tests {
         assert_eq!(j.get("solves"), Some(&Json::Int(1)));
         assert_eq!(j.get("total_iterations"), Some(&Json::Int(7)));
         assert_eq!(j.get("non_converged"), Some(&Json::Int(0)));
+    }
+
+    #[test]
+    fn json_escapes_control_chars_and_keeps_non_ascii() {
+        let v = Json::obj([
+            ("ctrl", Json::from("a\u{1}b\u{1f}c")),
+            ("tabs", Json::from("x\ty\r\n")),
+            ("unicode", Json::from("µops → 3D — ünïcode")),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"a\\u0001b\\u001fc\""));
+        assert!(s.contains("\"x\\ty\\r\\n\""));
+        // Non-ASCII passes through unescaped (the file is UTF-8).
+        assert!(s.contains("µops → 3D — ünïcode"));
+    }
+
+    #[test]
+    fn json_non_finite_floats_render_null_everywhere() {
+        let v = Json::arr([
+            Json::from(f64::NAN),
+            Json::from(f64::INFINITY),
+            Json::from(f64::NEG_INFINITY),
+            Json::from(1.5),
+        ]);
+        let s = v.render();
+        assert_eq!(s.matches("null").count(), 3);
+        assert!(s.contains("1.5"));
+    }
+
+    #[test]
+    fn json_parse_round_trips_rendered_output() {
+        let v = Json::obj([
+            ("name", Json::from("fig8 \"quoted\" \\ path\nline")),
+            ("int", Json::from(-42i64)),
+            ("big", Json::from(9_007_199_254_740_993i64)),
+            ("float", Json::from(0.15625)),
+            ("neg", Json::from(-1.5e-7)),
+            ("flag", Json::from(false)),
+            ("nothing", Json::Null),
+            ("list", Json::arr([Json::from(1i64), Json::arr([]), Json::obj::<String>([])])),
+            ("nested", Json::obj([("k", Json::from("µ → ok"))])),
+        ]);
+        let parsed = Json::parse(&v.render()).expect("round trip");
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn json_parse_handles_escapes_and_rejects_garbage() {
+        let v = Json::parse(r#"{"a": "éA😀", "b": [1, 2.5]}"#)
+            .expect("valid");
+        assert_eq!(v.get("a"), Some(&Json::Str("éA😀".to_owned())));
+        assert_eq!(
+            v.get("b"),
+            Some(&Json::arr([Json::Int(1), Json::Num(2.5)]))
+        );
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\": 1} extra",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips_through_json() {
+        let snap = m3d_obs::MetricsSnapshot {
+            counters: vec![
+                ("thermal.iterations".to_owned(), 1234),
+                ("thermal.warm_start.hits".to_owned(), 7),
+            ],
+            histograms: vec![m3d_obs::HistogramSnapshot {
+                name: "thermal.residual_k".to_owned(),
+                count: 3,
+                sum: 3.5e-5,
+                min: 0.5e-5,
+                max: 2.0e-5,
+                buckets: vec![(-18, 2), (-16, 1)],
+            }],
+        };
+        let j = metrics_json(&snap);
+        let back = metrics_from_json(&Json::parse(&j.render()).expect("parses"))
+            .expect("decodes");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn metrics_text_lists_counters_and_histograms() {
+        let snap = m3d_obs::MetricsSnapshot {
+            counters: vec![("sram.organizations.evaluated".to_owned(), 99)],
+            histograms: vec![m3d_obs::HistogramSnapshot {
+                name: "thermal.residual_k".to_owned(),
+                count: 2,
+                sum: 2.0,
+                min: 0.5,
+                max: 1.5,
+                buckets: vec![(-1, 1), (0, 1)],
+            }],
+        };
+        let text = metrics_text(&snap);
+        assert!(text.contains("sram.organizations.evaluated"));
+        assert!(text.contains("99"));
+        assert!(text.contains("thermal.residual_k"));
+        assert!(text.contains("n=2"));
     }
 
     #[test]

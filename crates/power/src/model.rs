@@ -141,6 +141,8 @@ impl CorePowerModel {
 
     /// Account the energy of a simulated interval under a configuration.
     pub fn energy(&self, r: &PerfResult, cfg: &PowerConfig) -> EnergyBreakdown {
+        let _span = m3d_obs::span("power", "energy_accounting");
+        m3d_obs::add("power.accountings", 1);
         let e = self.energies.clone().with_reductions(&cfg.array_reductions);
         let a = &r.activity;
         let v2 = cfg.v2_scale();

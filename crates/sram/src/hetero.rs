@@ -49,6 +49,7 @@ fn hetero_procs() -> LayerProcesses {
 
 /// Asymmetric port partitioning: search (bottom ports, upsize).
 fn hetero_port(spec: &ArraySpec, node: &TechnologyNode, via: &Via) -> HeteroPartitioned {
+    let _span = m3d_obs::span_named("sram", || format!("hetero_port:{}", spec.name));
     let total = spec.total_ports() + spec.search_ports;
     assert!(total >= 2, "{}: need two ports for PP", spec.name);
     let procs = hetero_procs();
@@ -59,6 +60,7 @@ fn hetero_port(spec: &ArraySpec, node: &TechnologyNode, via: &Via) -> HeteroPart
     for p_b in lo..=hi {
         let p_t = total - p_b;
         for &u in &UPSIZES {
+            m3d_obs::add("sram.hetero.candidates", 1);
             let (bottom, top, _vias) =
                 partition3d::port_partition_plans(spec, node, procs, via, p_b, p_t, u);
             let ab = analyze_with_org(node, &bottom, org);
@@ -104,11 +106,15 @@ fn hetero_bit_word(
         Strategy::Word => spec.words,
         Strategy::Port => unreachable!("handled by hetero_port"),
     };
+    let _span = m3d_obs::span_named("sram", || {
+        format!("hetero_{}:{}", strategy.abbrev(), spec.name)
+    });
     let mut best: Option<(HeteroPartitioned, f64)> = None;
     for &f in &BOTTOM_FRACTIONS {
         let n_b = ((total as f64 * f).round() as usize).clamp(1, total - 1);
         let n_t = total - n_b;
         for &u in &UPSIZES {
+            m3d_obs::add("sram.hetero.candidates", 1);
             let cell_b = CellGeometry::new(ports, spec.is_cam(), 1.0, procs.bottom);
             let cell_t = CellGeometry::new(ports, spec.is_cam(), u, procs.top);
             let make = |share: usize, cell: CellGeometry, top: bool| {

@@ -288,21 +288,27 @@ pub fn analyze_with_org(node: &TechnologyNode, plan: &LayerPlan, org: Organizati
 /// Analyse a layer plan, searching subarray organizations for the best
 /// delay–energy–area trade-off (CACTI-style).
 pub fn analyze_plan(node: &TechnologyNode, plan: &LayerPlan) -> Analysis {
+    let _span = m3d_obs::span("sram", "org_search");
+    let (mut evaluated, mut pruned) = (0u64, 0u64);
     let mut best: Option<(f64, Analysis)> = None;
     // Multi-ported arrays replicate periphery per port, so splitting into
     // many subarrays is prohibitively expensive for them.
     let max_sub = if plan.cell.ports >= 4 { 16 } else { 64 };
     for ndbl in pow2s_upto(plan.rows.max(1)) {
         if plan.rows / ndbl < 32 && ndbl > 1 {
+            pruned += 1;
             continue;
         }
         for ndwl in pow2s_upto(plan.cols.max(1)) {
             if plan.cols / ndwl < 32 && ndwl > 1 {
+                pruned += 1;
                 continue;
             }
             if ndwl * ndbl > max_sub {
+                pruned += 1;
                 continue;
             }
+            evaluated += 1;
             let a = analyze_with_org(node, plan, Organization { ndwl, ndbl });
             // CACTI-like weighted objective: latency first, energy and area
             // as soft penalties that stop the search from exploding the
@@ -316,6 +322,8 @@ pub fn analyze_plan(node: &TechnologyNode, plan: &LayerPlan) -> Analysis {
             }
         }
     }
+    m3d_obs::add("sram.organizations.evaluated", evaluated);
+    m3d_obs::add("sram.organizations.pruned", pruned);
     best.expect("organization search always evaluates ndwl=ndbl=1").1
 }
 

@@ -454,12 +454,15 @@ pub fn best_partition(
     node: &TechnologyNode,
     via_kind: ViaKind,
 ) -> (Strategy, Partitioned3d, Reduction) {
+    let _span = m3d_obs::span_named("sram", || format!("best_partition:{}", spec.name));
     let base = crate::model2d::analyze_2d(spec, node, ProcessCorner::bulk_hp());
     let mut best: Option<(Strategy, Partitioned3d, Reduction)> = None;
     for s in Strategy::ALL {
         if !applicable(spec, s) {
+            m3d_obs::add("sram.partition.strategies_skipped", 1);
             continue;
         }
+        m3d_obs::add("sram.partition.strategies_evaluated", 1);
         let p = partition(spec, node, s, via_kind);
         let r = p.metrics.reduction_vs(&base.metrics);
         // Latency-first; within a 3% latency band, prefer the smaller

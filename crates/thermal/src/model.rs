@@ -452,6 +452,7 @@ impl ThermalModel {
         warm: Option<&Solution>,
         mode: SweepMode,
     ) -> Result<(Solution, SolveStats), ThermalError> {
+        let _span = m3d_obs::span("thermal", "solve");
         let t0 = Instant::now();
         let power = self.assemble_power(block_powers)?;
         let n_cells = self.n_cells();
@@ -504,6 +505,21 @@ impl ThermalModel {
             assembly_cache_hit: false,
             wall_s: t0.elapsed().as_secs_f64(),
         };
+        // Counters at solve granularity: the sweep loop itself stays clean.
+        m3d_obs::add("thermal.solves", 1);
+        m3d_obs::add("thermal.iterations", iterations as u64);
+        m3d_obs::add(
+            if warm_ok {
+                "thermal.warm_start.hits"
+            } else {
+                "thermal.warm_start.misses"
+            },
+            1,
+        );
+        if !converged {
+            m3d_obs::add("thermal.non_converged", 1);
+        }
+        m3d_obs::record("thermal.residual_k", residual);
         Ok((solution, stats))
     }
 
@@ -754,11 +770,16 @@ impl ModelCache {
         let mut map = self.inner.lock().expect("thermal model cache poisoned");
         if let Some(model) = map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            m3d_obs::add("thermal.model_cache.hits", 1);
             return Ok((Arc::clone(model), true));
         }
-        let model = Arc::new(ThermalModel::new(stack, floorplans, cfg)?);
+        let model = {
+            let _span = m3d_obs::span("thermal", "assemble_model");
+            Arc::new(ThermalModel::new(stack, floorplans, cfg)?)
+        };
         map.insert(key, Arc::clone(&model));
         self.misses.fetch_add(1, Ordering::Relaxed);
+        m3d_obs::add("thermal.model_cache.misses", 1);
         Ok((model, false))
     }
 
