@@ -33,9 +33,18 @@ grep -q '"metrics"' target/repro-ci/manifest.json || {
 
 echo "== perf_baseline --check (counter-drift gate) =="
 # Deterministic integer counters (solver sweeps, warm-start hits, search
-# candidates, µops) must match the committed baseline exactly; wall times
-# are informational. Refresh intentional changes with:
+# candidates, µops, batch-engine points/hits/reuses/cycles) must match the
+# committed baseline exactly; wall times are informational. Refresh
+# intentional changes with:
 #   ./target/release/perf_baseline --write BENCH_repro.json
 ./target/release/perf_baseline --check BENCH_repro.json
+grep -q '"uarch.batch.points"' BENCH_repro.json || {
+  echo "ci.sh: BENCH_repro.json lacks the batch-engine gate counters" >&2
+  exit 1
+}
+grep -q '"batch_probe"' BENCH_repro.json || {
+  echo "ci.sh: BENCH_repro.json lacks the batch sharding probe" >&2
+  exit 1
+}
 
 echo "== ci.sh: all checks passed =="

@@ -15,7 +15,12 @@
 //!
 //! The measurement always runs at `--quick` scale with one worker, so the
 //! design-space `OnceLock` is computed by the same experiment every time
-//! and counter attribution is reproducible.
+//! and counter attribution is reproducible. The `uarch.batch.*` counters
+//! (points, cache hits, checkpoint reuses, cycles) are gated the same way:
+//! the batch engine's results and counters are pure functions of the point
+//! list, independent of the lane count. A separate probe times the same
+//! batch on one lane vs many, recording the sharding gain (informational,
+//! never gated).
 
 use crate::artifacts::SCHEMA_VERSION;
 use m3d_core::experiments::registry::{run_experiments, select, Ctx, Outcome};
@@ -25,6 +30,8 @@ use m3d_thermal::floorplan::Floorplan;
 use m3d_thermal::model::{SweepMode, ThermalModel};
 use m3d_thermal::solver::ThermalConfig;
 use m3d_tech::layers::LayerStack;
+use m3d_uarch::{CoreConfig, SimBatch, SimInterval, SimPoint};
+use m3d_workloads::spec::spec2006;
 use std::time::Instant;
 
 /// The schedule-independent experiments the baseline measures. fig8 is
@@ -54,6 +61,11 @@ pub const GATE_COUNTERS: &[&str] = &[
     "thermal.solves",
     "thermal.warm_start.hits",
     "thermal.warm_start.misses",
+    "uarch.batch.cache_hits",
+    "uarch.batch.cap_exhausted",
+    "uarch.batch.checkpoint_reuses",
+    "uarch.batch.cycles",
+    "uarch.batch.points",
 ];
 
 /// One experiment's measured state.
@@ -77,6 +89,13 @@ pub struct Baseline {
     pub solve_disabled_s: f64,
     /// Fastest thermal solve wall time with collection on, seconds.
     pub solve_enabled_s: f64,
+    /// Fastest batch-probe wall time on one lane, seconds.
+    pub batch_serial_s: f64,
+    /// Fastest batch-probe wall time on [`Baseline::batch_lanes`] lanes,
+    /// seconds.
+    pub batch_sharded_s: f64,
+    /// Lane count used by the sharded side of the batch probe.
+    pub batch_lanes: u64,
 }
 
 impl Baseline {
@@ -85,6 +104,16 @@ impl Baseline {
     pub fn overhead_pct(&self) -> f64 {
         if self.solve_disabled_s > 0.0 {
             (self.solve_enabled_s / self.solve_disabled_s - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Serial-over-sharded wall-time ratio of the batch probe (>1 means
+    /// sharding helped; ≈1 on single-CPU machines).
+    pub fn batch_speedup(&self) -> f64 {
+        if self.batch_sharded_s > 0.0 {
+            self.batch_serial_s / self.batch_sharded_s
         } else {
             0.0
         }
@@ -155,6 +184,50 @@ pub fn measure_overhead(samples: usize) -> (f64, f64) {
     (fastest(&off), fastest(&on))
 }
 
+/// Points in the batch-sharding probe.
+const BATCH_PROBE_POINTS: usize = 8;
+
+/// Trace seed for the probe, distinct from every experiment seed so the
+/// probe cannot interact with the batch memo cache of a gated run (the
+/// probe also bypasses the cache entirely).
+const BATCH_PROBE_SEED: u64 = 0xBE9C;
+
+/// Probe the batch engine's sharding gain: the same single-core point set
+/// through [`SimBatch`] on one lane and on [`Baseline::batch_lanes`]
+/// lanes, memo cache bypassed so both sides simulate every point.
+/// Min-of-N with interleaved sides, like [`measure_overhead`]. The times
+/// are informational (machine-dependent) and never gated.
+pub fn measure_batch(samples: usize) -> (f64, f64, usize) {
+    let lanes = std::thread::available_parallelism()
+        .map(|n| n.get().min(BATCH_PROBE_POINTS))
+        .unwrap_or(1);
+    let interval = SimInterval {
+        warmup: 10_000,
+        measure: 10_000,
+    };
+    let points: Vec<SimPoint> = spec2006()
+        .into_iter()
+        .take(BATCH_PROBE_POINTS)
+        .map(|app| SimPoint::single(CoreConfig::base_2d(), app, BATCH_PROBE_SEED, interval))
+        .collect();
+    let run = |jobs: usize| {
+        let t0 = Instant::now();
+        for r in SimBatch::new(jobs).without_cache().run(&points) {
+            r.expect("probe points are valid");
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    // Warm both paths once before timing.
+    run(1);
+    run(lanes);
+    let (mut serial, mut sharded) = (Vec::with_capacity(samples), Vec::with_capacity(samples));
+    for _ in 0..samples {
+        serial.push(run(1));
+        sharded.push(run(lanes));
+    }
+    (fastest(&serial), fastest(&sharded), lanes)
+}
+
 /// Run the gated experiment subset (quick scale, one worker, collection on)
 /// and the overhead probe, and return the measurement.
 pub fn measure() -> Baseline {
@@ -180,6 +253,7 @@ pub fn measure() -> Baseline {
         })
         .collect();
     let (solve_disabled_s, solve_enabled_s) = measure_overhead(40);
+    let (batch_serial_s, batch_sharded_s, batch_lanes) = measure_batch(3);
     if !was_enabled {
         m3d_obs::disable();
     }
@@ -187,6 +261,9 @@ pub fn measure() -> Baseline {
         experiments,
         solve_disabled_s,
         solve_enabled_s,
+        batch_serial_s,
+        batch_sharded_s,
+        batch_lanes: batch_lanes as u64,
     }
 }
 
@@ -234,6 +311,16 @@ pub fn baseline_json(b: &Baseline) -> Json {
                 ("overhead_pct", Json::from(b.overhead_pct())),
             ]),
         ),
+        (
+            "batch_probe",
+            Json::obj([
+                ("points", Json::from(BATCH_PROBE_POINTS)),
+                ("lanes", Json::from(b.batch_lanes)),
+                ("serial_s", Json::from(b.batch_serial_s)),
+                ("sharded_s", Json::from(b.batch_sharded_s)),
+                ("speedup", Json::from(b.batch_speedup())),
+            ]),
+        ),
     ])
 }
 
@@ -267,15 +354,22 @@ pub fn baseline_from_json(j: &Json) -> Result<Baseline, String> {
             .collect::<Result<Vec<_>, String>>()?,
         other => return Err(format!("bad experiments block: {other:?}")),
     };
-    let probe = |k: &str| match j.get("obs_overhead").and_then(|o| o.get(k)) {
+    let probe = |block: &str, k: &str| match j.get(block).and_then(|o| o.get(k)) {
         Some(Json::Num(v)) => Ok(*v),
         Some(Json::Int(i)) => Ok(*i as f64),
-        other => Err(format!("bad obs_overhead.{k}: {other:?}")),
+        other => Err(format!("bad {block}.{k}: {other:?}")),
+    };
+    let batch_lanes = match j.get("batch_probe").and_then(|o| o.get("lanes")) {
+        Some(Json::Int(i)) if *i >= 0 => *i as u64,
+        other => return Err(format!("bad batch_probe.lanes: {other:?}")),
     };
     Ok(Baseline {
         experiments,
-        solve_disabled_s: probe("solve_disabled_s")?,
-        solve_enabled_s: probe("solve_enabled_s")?,
+        solve_disabled_s: probe("obs_overhead", "solve_disabled_s")?,
+        solve_enabled_s: probe("obs_overhead", "solve_enabled_s")?,
+        batch_serial_s: probe("batch_probe", "serial_s")?,
+        batch_sharded_s: probe("batch_probe", "sharded_s")?,
+        batch_lanes,
     })
 }
 
@@ -336,6 +430,9 @@ mod tests {
             ],
             solve_disabled_s: 0.010,
             solve_enabled_s: 0.0101,
+            batch_serial_s: 0.080,
+            batch_sharded_s: 0.020,
+            batch_lanes: 4,
         }
     }
 
@@ -347,6 +444,7 @@ mod tests {
         let back = baseline_from_json(&parsed).expect("decodes");
         assert_eq!(back, b);
         assert!((b.overhead_pct() - 1.0).abs() < 1e-9);
+        assert!((b.batch_speedup() - 4.0).abs() < 1e-9);
     }
 
     #[test]

@@ -47,6 +47,14 @@ fn main() {
         current.solve_enabled_s * 1e3,
         current.overhead_pct()
     );
+    eprintln!(
+        "[perf_baseline] batch sharding: {:.3}s on 1 lane, {:.3}s on {} \
+         ({:.2}x)",
+        current.batch_serial_s,
+        current.batch_sharded_s,
+        current.batch_lanes,
+        current.batch_speedup()
+    );
 
     match mode {
         "--write" => {

@@ -25,9 +25,11 @@
 //!   instead of 250k/150k) and a 6-app subset for the Figure 8 thermal
 //!   study; seconds instead of minutes.
 //! * `--jobs N` (or `--jobs=N`) — worker-pool size, 1 to 64. Defaults to
-//!   the machine's available parallelism. `--jobs 1` reproduces the
-//!   historical serial output byte-for-byte; any N produces identical
-//!   rendered tables (only wall-clock numbers vary).
+//!   the machine's available parallelism. Jobs both run independent
+//!   experiments concurrently and shard each experiment's cycle-level
+//!   simulations across the `m3d-uarch` batch engine. `--jobs 1`
+//!   reproduces the historical serial output byte-for-byte; any N produces
+//!   identical rendered tables (only wall-clock numbers vary).
 //! * `--out-dir DIR` (or `--out-dir=DIR`) — write JSON artifacts under
 //!   `DIR` (created if missing). Enables instrumentation so artifacts carry
 //!   `metrics` blocks.
@@ -170,7 +172,7 @@ fn main() {
     } else {
         RunScale::full()
     };
-    let ctx = Ctx::new(scale, args.quick);
+    let ctx = Ctx::new(scale, args.quick).with_jobs(args.jobs);
     let t0 = Instant::now();
     let outcomes = run_experiments(&ctx, &selected, args.jobs, |o| match &o.report {
         Ok(r) => {

@@ -4,10 +4,15 @@
 //! * the hetero bottom-share fraction sweep;
 //! * the top-layer access-transistor upsize sweep;
 //! * TSV diameter sensitivity;
-//! * shared-L2 pairing on/off in the multicore M3D design.
+//! * shared-L2 pairing on/off in the multicore M3D design, plus a
+//!   measure-window sweep, both run through the cycle-level batch engine.
 
+use crate::configs::MulticoreDesign;
 use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::experiments::RunScale;
 use crate::report::{pct, Json, Table};
+use m3d_uarch::{BatchStats, SimBatch, SimError, SimInterval, SimPoint};
+use m3d_workloads::parallel::splash_parsec;
 use m3d_sram::model2d::{analyze_2d, analyze_with_org};
 use m3d_sram::partition3d::{partition, partition_with_via, port_partition_plans, Strategy};
 use m3d_sram::structures::StructureId;
@@ -76,6 +81,108 @@ pub fn tsv_diameter_sweep() -> Vec<(f64, f64)> {
         .collect()
 }
 
+/// Seed for the cycle-level ablation traces, distinct from the fig6/7 and
+/// fig9/10 seeds so the process-wide batch memo cache cannot couple this
+/// experiment's counters to the gated studies.
+const UARCH_SEED: u64 = 0xAB1;
+
+/// Applications used by the cycle-level ablation (a subset keeps the
+/// otherwise-analytical experiment fast).
+const UARCH_APPS: usize = 3;
+
+/// One row of the cycle-level (batch-engine) ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UarchAblationRow {
+    /// Application name.
+    pub app: String,
+    /// Shared-L2 pairing: "on" or "off".
+    pub pairing: &'static str,
+    /// Measured instructions per core.
+    pub measure: u64,
+    /// Aggregate IPC over the measured interval.
+    pub ipc: f64,
+}
+
+/// Ablation 5: shared-L2 pairing on/off plus a measure-window sweep on the
+/// four-core M3D-Het design, run through the batch engine. The three
+/// windows of the paired configuration share one warm-up per application,
+/// so the returned [`BatchStats`] records `2 × apps` checkpoint reuses.
+///
+/// The batch's process-wide memo cache is bypassed: this experiment
+/// renders its batch statistics, and only a cache-free run keeps them (and
+/// hence the rendered text) a pure function of the point list no matter
+/// what ran earlier in the process.
+pub fn uarch_ablation(
+    scale: RunScale,
+    jobs: usize,
+) -> Result<(Vec<UarchAblationRow>, BatchStats), SimError> {
+    let design = MulticoreDesign::M3dHet4;
+    let paired = design.core_config();
+    let mut unpaired = paired.clone();
+    unpaired.shared_l2_pairs = false;
+    let apps: Vec<_> = splash_parsec().into_iter().take(UARCH_APPS).collect();
+    let windows = [scale.measure / 2, scale.measure, scale.measure * 2];
+    let interval = |measure| SimInterval {
+        warmup: scale.warmup,
+        measure,
+    };
+    let mut labels = Vec::new();
+    let mut points = Vec::new();
+    for app in &apps {
+        for &m in &windows {
+            points.push(SimPoint::multi(
+                paired.clone(),
+                app.clone(),
+                UARCH_SEED,
+                design.n_cores(),
+                interval(m),
+            ));
+            labels.push((app.name.clone(), "on", m));
+        }
+        points.push(SimPoint::multi(
+            unpaired.clone(),
+            app.clone(),
+            UARCH_SEED,
+            design.n_cores(),
+            interval(scale.measure),
+        ));
+        labels.push((app.name.clone(), "off", scale.measure));
+    }
+    let (outcomes, stats) = SimBatch::new(jobs).without_cache().run_with_stats(&points);
+    let mut rows = Vec::with_capacity(labels.len());
+    for ((app, pairing, measure), outcome) in labels.into_iter().zip(outcomes) {
+        let r = outcome?;
+        rows.push(UarchAblationRow {
+            app,
+            pairing,
+            measure,
+            ipc: r.ipc(),
+        });
+    }
+    Ok((rows, stats))
+}
+
+/// Render the cycle-level ablation rows.
+pub fn uarch_ablation_text(rows: &[UarchAblationRow], stats: &BatchStats) -> String {
+    let mut t = Table::new(["App", "L2 pairing", "Window", "IPC"]);
+    for r in rows {
+        t.row([
+            r.app.clone(),
+            r.pairing.to_owned(),
+            r.measure.to_string(),
+            format!("{:.3}", r.ipc),
+        ]);
+    }
+    format!(
+        "5. Shared-L2 pairing + measure-window sweep (M3D-Het, 4 cores):\n{}\
+         [batch] points {}, cache hits {}, checkpoint reuses {}\n",
+        t.render(),
+        stats.points,
+        stats.cache_hits,
+        stats.checkpoint_reuses
+    )
+}
+
 /// Render all analytical ablations.
 pub fn ablations_text() -> String {
     ablations_text_from(&strategy_ablation(), &hetero_rf_sweep(), &tsv_diameter_sweep())
@@ -118,7 +225,7 @@ pub fn ablations_text_from(
 }
 
 /// Registry entry point for the ablation studies.
-pub fn report(_ctx: &Ctx) -> ExperimentReport {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = std::time::Instant::now();
     let strategy = strategy_ablation();
     let t_strategy = t0.elapsed().as_secs_f64();
@@ -128,8 +235,21 @@ pub fn report(_ctx: &Ctx) -> ExperimentReport {
     let t2 = std::time::Instant::now();
     let tsv = tsv_diameter_sweep();
     let t_tsv = t2.elapsed().as_secs_f64();
-    ExperimentReport {
-        sections: vec![Section::always(ablations_text_from(&strategy, &sweep, &tsv))],
+    let t3 = std::time::Instant::now();
+    let (uarch, batch) =
+        uarch_ablation(ctx.scale(), ctx.jobs()).map_err(|e| e.to_string())?;
+    let t_uarch = t3.elapsed().as_secs_f64();
+    let scale = ctx.scale();
+    // Per app: two warm-ups actually run (paired group + unpaired) and
+    // measure windows of m/2 + m + 2m + m = 9m/2 instructions per core.
+    let uops = UARCH_APPS as u64
+        * MulticoreDesign::M3dHet4.n_cores() as u64
+        * (2 * scale.warmup + 9 * scale.measure / 2);
+    Ok(ExperimentReport {
+        sections: vec![
+            Section::always(ablations_text_from(&strategy, &sweep, &tsv)),
+            Section::always(uarch_ablation_text(&uarch, &batch)),
+        ],
         rows: Json::obj([
             (
                 "forced_strategy_latency_pct",
@@ -161,15 +281,33 @@ pub fn report(_ctx: &Ctx) -> ExperimentReport {
                     ])
                 })),
             ),
+            (
+                "uarch_shared_l2",
+                Json::arr(uarch.iter().map(|r| {
+                    Json::obj([
+                        ("app", Json::from(r.app.clone())),
+                        ("pairing", Json::from(r.pairing)),
+                        ("measure", Json::from(r.measure)),
+                        ("ipc", Json::from(r.ipc)),
+                    ])
+                })),
+            ),
         ]),
-        meta: Json::obj([("node_nm", Json::from(22i64))]),
+        meta: Json::obj([
+            ("node_nm", Json::from(22i64)),
+            ("batch_points", Json::from(batch.points)),
+            ("batch_cache_hits", Json::from(batch.cache_hits)),
+            ("batch_checkpoint_reuses", Json::from(batch.checkpoint_reuses)),
+        ]),
         phases: vec![
             ("forced_strategy", t_strategy),
             ("hetero_rf_sweep", t_sweep),
             ("tsv_diameter_sweep", t_tsv),
+            ("uarch_ablation", t_uarch),
         ],
+        uops,
         ..Default::default()
-    }
+    })
 }
 
 #[cfg(test)]
@@ -214,5 +352,24 @@ mod tests {
     #[test]
     fn renders() {
         assert!(ablations_text().contains("Ablations"));
+    }
+
+    #[test]
+    fn uarch_ablation_reuses_checkpoints_and_varies_pairing() {
+        // A scale no other caller uses, so the process-wide memo cache is
+        // cold and the counters are exact.
+        let scale = RunScale {
+            warmup: 4_000,
+            measure: 2_000,
+        };
+        let (rows, stats) = uarch_ablation(scale, 2).expect("paper config is valid");
+        assert_eq!(rows.len(), 4 * UARCH_APPS);
+        assert_eq!(stats.points, 4 * UARCH_APPS as u64);
+        assert_eq!(stats.cache_hits, 0);
+        // The three windows of the paired config share one warm-up per app.
+        assert_eq!(stats.checkpoint_reuses, 2 * UARCH_APPS as u64);
+        for r in &rows {
+            assert!(r.ipc.is_finite() && r.ipc > 0.0, "{}: ipc {}", r.app, r.ipc);
+        }
     }
 }

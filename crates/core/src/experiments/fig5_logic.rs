@@ -92,10 +92,10 @@ pub fn fig5_text() -> String {
 }
 
 /// Registry entry point for Figure 5 / Section 3.1.
-pub fn report(_ctx: &Ctx) -> ExperimentReport {
+pub fn report(_ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = std::time::Instant::now();
     let r = fig5();
-    ExperimentReport {
+    Ok(ExperimentReport {
         sections: vec![Section::always(fig5_text())],
         rows: Json::obj([
             ("critical_fraction", Json::from(r.critical_fraction)),
@@ -115,7 +115,7 @@ pub fn report(_ctx: &Ctx) -> ExperimentReport {
         meta: Json::obj([("adder_bits", Json::from(64i64)), ("node_nm", Json::from(45i64))]),
         phases: vec![("compute", t0.elapsed().as_secs_f64())],
         ..Default::default()
-    }
+    })
 }
 
 #[cfg(test)]

@@ -11,10 +11,13 @@ use crate::experiments::RunScale;
 use crate::planner::DesignSpace;
 use crate::report::{ratio, Json, Table};
 use m3d_power::model::CorePowerModel;
-use m3d_uarch::core::Core;
 use m3d_uarch::stats::PerfResult;
+use m3d_uarch::{SimBatch, SimError, SimInterval, SimPoint};
 use m3d_workloads::spec::spec2006;
-use m3d_workloads::TraceGenerator;
+
+/// Trace seed shared by every single-core simulation (also exported from
+/// `m3d_bench::artifacts`).
+const SEED: u64 = 0xF16;
 
 /// Results for one application across all designs.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +39,11 @@ pub struct AppRow {
 pub struct SingleCoreStudy {
     /// Per-application rows, plus geometric means appended by the renderers.
     pub rows: Vec<AppRow>,
+    /// Simulations whose measured interval hit the livelock cap (healthy
+    /// runs: zero). Non-zero counts are surfaced in the report meta and on
+    /// stderr because the affected speed-up/energy values cover a
+    /// truncated interval.
+    pub cap_exhausted: usize,
 }
 
 impl SingleCoreStudy {
@@ -66,43 +74,73 @@ fn average<'a>(it: impl Iterator<Item = &'a Vec<f64>>) -> Vec<f64> {
     sum.iter().map(|s| s / n.max(1) as f64).collect()
 }
 
-/// Run one application under one design.
-fn run_one(app: &m3d_workloads::WorkloadProfile, d: DesignPoint, scale: RunScale) -> PerfResult {
-    let gen = TraceGenerator::new(app, 0xF16, 0, 1);
-    let mut core = Core::new(0, d.core_config(), gen);
-    let _ = core.run(scale.warmup);
-    core.run(scale.measure)
+/// The batch point for one (application, design) pair. Every simulation in
+/// this study is "fresh machine → warm-up → measure" on one core, which is
+/// exactly a single-core [`SimPoint`].
+fn point(app: &m3d_workloads::WorkloadProfile, d: DesignPoint, scale: RunScale) -> SimPoint {
+    SimPoint::single(
+        d.core_config(),
+        app.clone(),
+        SEED,
+        SimInterval {
+            warmup: scale.warmup,
+            measure: scale.measure,
+        },
+    )
 }
 
-/// Run the full single-core study (Figures 6 and 7).
+/// Run the full single-core study (Figures 6 and 7) on one worker lane.
 pub fn run(space: &DesignSpace, scale: RunScale) -> SingleCoreStudy {
-    let model = CorePowerModel::new_22nm();
-    let rows = spec2006()
+    run_sharded(space, scale, 1).expect("paper design points are valid")
+}
+
+/// Run the study through the batch engine across `jobs` worker lanes. The
+/// 126 (application × design) points are independent, so results are
+/// identical for every `jobs` value.
+pub fn run_sharded(
+    space: &DesignSpace,
+    scale: RunScale,
+    jobs: usize,
+) -> Result<SingleCoreStudy, SimError> {
+    let apps = spec2006();
+    let points: Vec<SimPoint> = apps
         .iter()
-        .map(|app| {
-            let results: Vec<PerfResult> = DesignPoint::ALL
-                .iter()
-                .map(|&d| run_one(app, d, scale))
-                .collect();
-            let energies: Vec<f64> = DesignPoint::ALL
-                .iter()
-                .zip(&results)
-                .map(|(&d, r)| model.energy(r, &d.power_config(space)).total_j())
-                .collect();
-            let base = &results[0];
-            let base_e = energies[0];
-            let base_power =
-                model.energy(base, &DesignPoint::Base.power_config(space)).average_power_w();
-            AppRow {
-                app: app.name.clone(),
-                speedup: results.iter().map(|r| r.speedup_over(base)).collect(),
-                energy: energies.iter().map(|e| e / base_e).collect(),
-                base_power_w: base_power,
-                results,
-            }
-        })
+        .flat_map(|app| DesignPoint::ALL.iter().map(|&d| point(app, d, scale)))
         .collect();
-    SingleCoreStudy { rows }
+    let outcomes = SimBatch::new(jobs).run(&points);
+    let model = CorePowerModel::new_22nm();
+    let n_designs = DesignPoint::ALL.len();
+    let mut cap_exhausted = 0usize;
+    let mut rows = Vec::with_capacity(apps.len());
+    for (ai, app) in apps.iter().enumerate() {
+        let mut results = Vec::with_capacity(n_designs);
+        for outcome in &outcomes[ai * n_designs..(ai + 1) * n_designs] {
+            let r = outcome.clone()?;
+            cap_exhausted += usize::from(r.cap_exhausted);
+            results.push(r);
+        }
+        let energies: Vec<f64> = DesignPoint::ALL
+            .iter()
+            .zip(&results)
+            .map(|(&d, r)| model.energy(r, &d.power_config(space)).total_j())
+            .collect();
+        let base = &results[0];
+        let base_e = energies[0];
+        let base_power = model
+            .energy(base, &DesignPoint::Base.power_config(space))
+            .average_power_w();
+        rows.push(AppRow {
+            app: app.name.clone(),
+            speedup: results.iter().map(|r| r.speedup_over(base)).collect(),
+            energy: energies.iter().map(|e| e / base_e).collect(),
+            base_power_w: base_power,
+            results,
+        });
+    }
+    Ok(SingleCoreStudy {
+        rows,
+        cap_exhausted,
+    })
 }
 
 fn render(study: &SingleCoreStudy, values: impl Fn(&AppRow) -> &Vec<f64>, avg: Vec<f64>, title: &str) -> String {
@@ -141,18 +179,45 @@ pub fn fig7_text(study: &SingleCoreStudy) -> String {
 }
 
 /// Registry entry point for Figures 6 and 7 (one shared simulation run).
-pub fn report(ctx: &Ctx) -> ExperimentReport {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = std::time::Instant::now();
     let space = ctx.space();
     let t_space = t0.elapsed().as_secs_f64();
     eprintln!("[repro] running single-core study (21 apps x 6 designs)...");
     let t1 = std::time::Instant::now();
-    let study = run(space, ctx.scale());
+    let study = run_sharded(space, ctx.scale(), ctx.jobs()).map_err(|e| e.to_string())?;
     let t_sim = t1.elapsed().as_secs_f64();
     let scale = ctx.scale();
     let uops = (study.rows.len() * DesignPoint::ALL.len()) as u64
         * (scale.warmup + scale.measure);
-    ExperimentReport {
+    if study.cap_exhausted > 0 {
+        eprintln!(
+            "[repro] WARNING: {} single-core simulation(s) hit the livelock \
+             cap; the affected intervals are truncated",
+            study.cap_exhausted
+        );
+    }
+    // The cap field is emitted only when non-zero so that healthy runs keep
+    // byte-identical artifacts.
+    let mut meta_fields = vec![
+        (
+            "designs",
+            Json::arr(DesignPoint::ALL.iter().map(|d| Json::from(d.label()))),
+        ),
+        ("apps", Json::from(study.rows.len())),
+        (
+            "average_speedup",
+            Json::arr(study.average_speedup().into_iter().map(Json::from)),
+        ),
+        (
+            "average_energy",
+            Json::arr(study.average_energy().into_iter().map(Json::from)),
+        ),
+    ];
+    if study.cap_exhausted > 0 {
+        meta_fields.push(("cap_exhausted_points", Json::from(study.cap_exhausted)));
+    }
+    Ok(ExperimentReport {
         sections: vec![
             Section::named("fig6", fig6_text(&study)),
             Section::named("fig7", fig7_text(&study)),
@@ -165,25 +230,11 @@ pub fn report(ctx: &Ctx) -> ExperimentReport {
                 ("base_power_w", Json::from(r.base_power_w)),
             ])
         })),
-        meta: Json::obj([
-            (
-                "designs",
-                Json::arr(DesignPoint::ALL.iter().map(|d| Json::from(d.label()))),
-            ),
-            ("apps", Json::from(study.rows.len())),
-            (
-                "average_speedup",
-                Json::arr(study.average_speedup().into_iter().map(Json::from)),
-            ),
-            (
-                "average_energy",
-                Json::arr(study.average_energy().into_iter().map(Json::from)),
-            ),
-        ]),
+        meta: Json::obj(meta_fields),
         phases: vec![("design_space", t_space), ("simulate", t_sim)],
         uops,
         ..Default::default()
-    }
+    })
 }
 
 #[cfg(test)]

@@ -214,7 +214,7 @@ pub fn fig8_text(rows: &[ThermalRow]) -> String {
 }
 
 /// Registry entry point for Figure 8.
-pub fn report(ctx: &Ctx) -> ExperimentReport {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = std::time::Instant::now();
     let space = ctx.space();
     let t_space = t0.elapsed().as_secs_f64();
@@ -225,7 +225,7 @@ pub fn report(ctx: &Ctx) -> ExperimentReport {
     let wall = t1.elapsed().as_secs_f64();
     let scale = ctx.scale();
     let uops = (rows.len() * 3) as u64 * (scale.warmup + scale.measure);
-    ExperimentReport {
+    Ok(ExperimentReport {
         sections: vec![
             Section::always(fig8_text(&rows)),
             Section::always(thermal_stats_text("fig8", &stats)),
@@ -247,7 +247,7 @@ pub fn report(ctx: &Ctx) -> ExperimentReport {
         phases: vec![("design_space", t_space), ("simulate_and_solve", wall)],
         thermal: Some(stats),
         uops,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -25,12 +25,16 @@ use crate::report::{ratio, thermal_stats_text, Json, Table};
 use m3d_power::model::CorePowerModel;
 use m3d_thermal::model::SolveStatsSummary;
 use m3d_thermal::solver::{Solution, ThermalConfig};
-use m3d_uarch::multicore::Multicore;
 use m3d_uarch::stats::PerfResult;
+use m3d_uarch::{SimBatch, SimError, SimInterval, SimPoint};
 use m3d_workloads::parallel::splash_parsec;
 
 /// Worker-thread cap for the per-application fan-out.
 const MAX_APP_THREADS: usize = 8;
+
+/// Trace seed shared by every multicore simulation (also exported from
+/// `m3d_bench::artifacts`).
+const SEED: u64 = 0xF19;
 
 /// Results for one parallel application.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +57,10 @@ pub struct ParallelRow {
 pub struct MulticoreStudy {
     /// Per-application rows.
     pub rows: Vec<ParallelRow>,
+    /// Simulations whose measured interval hit the livelock cap (healthy
+    /// runs: zero). Surfaced in the report meta and on stderr because the
+    /// affected rows cover a truncated interval.
+    pub cap_exhausted: usize,
 }
 
 impl MulticoreStudy {
@@ -105,23 +113,57 @@ pub fn run(space: &DesignSpace, scale: RunScale) -> MulticoreStudy {
 /// Like [`run`], but also returns the accumulated thermal-solver statistics
 /// for the `repro` report.
 pub fn run_with_stats(space: &DesignSpace, scale: RunScale) -> (MulticoreStudy, SolveStatsSummary) {
+    run_sharded_with_stats(space, scale, 1).expect("paper multicore designs are valid")
+}
+
+/// Like [`run_with_stats`], but the 75 (application × design) cycle
+/// simulations run through the batch engine across `jobs` worker lanes
+/// first; the thermal fan-out then consumes the precomputed results with
+/// its historical per-worker warm-start chains, so every value is
+/// identical to the serial run for any `jobs`.
+pub fn run_sharded_with_stats(
+    space: &DesignSpace,
+    scale: RunScale,
+    jobs: usize,
+) -> Result<(MulticoreStudy, SolveStatsSummary), SimError> {
     let model = CorePowerModel::new_22nm();
     let tcfg = ThermalConfig::default();
     let designs = DesignModels::build(&tcfg);
     let apps: Vec<_> = splash_parsec();
 
+    let n_designs = MulticoreDesign::ALL.len();
+    let points: Vec<SimPoint> = apps
+        .iter()
+        .flat_map(|app| {
+            MulticoreDesign::ALL.iter().map(|&d| {
+                SimPoint::multi(
+                    d.core_config(),
+                    app.clone(),
+                    SEED,
+                    d.n_cores(),
+                    SimInterval {
+                        warmup: scale.warmup,
+                        measure: scale.measure,
+                    },
+                )
+            })
+        })
+        .collect();
+    let sims: Vec<PerfResult> = SimBatch::new(jobs)
+        .run(&points)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+    let cap_exhausted = sims.iter().filter(|r| r.cap_exhausted).count();
+
     let results = par_map_with(
         &apps,
         MAX_APP_THREADS,
         || vec![None::<Solution>; MulticoreDesign::ALL.len()],
-        |warm, _, app| {
+        |warm, ai, app| {
             let results: Vec<(MulticoreDesign, PerfResult)> = MulticoreDesign::ALL
                 .iter()
-                .map(|&d| {
-                    let mut mc = Multicore::new(d.core_config(), app, 0xF19, d.n_cores());
-                    let _ = mc.run(scale.warmup);
-                    (d, mc.run(scale.measure))
-                })
+                .enumerate()
+                .map(|(di, &d)| (d, sims[ai * n_designs + di]))
                 .collect();
             let breakdowns: Vec<_> = results
                 .iter()
@@ -198,7 +240,13 @@ pub fn run_with_stats(space: &DesignSpace, scale: RunScale) -> (MulticoreStudy, 
             row
         })
         .collect();
-    (MulticoreStudy { rows }, total)
+    Ok((
+        MulticoreStudy {
+            rows,
+            cap_exhausted,
+        },
+        total,
+    ))
 }
 
 fn render(
@@ -253,18 +301,50 @@ pub fn thermal_text(study: &MulticoreStudy) -> String {
 
 /// Registry entry point for Figures 9 and 10 plus the thermal check (one
 /// shared simulation run).
-pub fn report(ctx: &Ctx) -> ExperimentReport {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = std::time::Instant::now();
     let space = ctx.space();
     let t_space = t0.elapsed().as_secs_f64();
     eprintln!("[repro] running multicore study (15 apps x 5 designs)...");
     let t1 = std::time::Instant::now();
-    let (study, stats) = run_with_stats(space, ctx.scale());
+    let (study, stats) = run_sharded_with_stats(space, ctx.scale(), ctx.jobs())
+        .map_err(|e| e.to_string())?;
     let wall = t1.elapsed().as_secs_f64();
     let scale = ctx.scale();
     let cores_total: usize = MulticoreDesign::ALL.iter().map(|d| d.n_cores()).sum();
     let uops = (study.rows.len() * cores_total) as u64 * (scale.warmup + scale.measure);
-    ExperimentReport {
+    if study.cap_exhausted > 0 {
+        eprintln!(
+            "[repro] WARNING: {} multicore simulation(s) hit the livelock \
+             cap; the affected intervals are truncated",
+            study.cap_exhausted
+        );
+    }
+    // Emitted only when non-zero: healthy runs keep byte-identical
+    // artifacts.
+    let mut meta_fields = vec![
+        (
+            "designs",
+            Json::arr(MulticoreDesign::ALL.iter().map(|d| Json::from(d.label()))),
+        ),
+        ("apps", Json::from(study.rows.len())),
+        (
+            "average_speedup",
+            Json::arr(study.average_speedup().into_iter().map(Json::from)),
+        ),
+        (
+            "average_energy",
+            Json::arr(study.average_energy().into_iter().map(Json::from)),
+        ),
+        (
+            "average_peak_c",
+            Json::arr(study.average_peak_c().into_iter().map(Json::from)),
+        ),
+    ];
+    if study.cap_exhausted > 0 {
+        meta_fields.push(("cap_exhausted_points", Json::from(study.cap_exhausted)));
+    }
+    Ok(ExperimentReport {
         sections: vec![
             Section::named("fig9", fig9_text(&study)),
             Section::named("fig10", fig10_text(&study)),
@@ -281,29 +361,11 @@ pub fn report(ctx: &Ctx) -> ExperimentReport {
                 ("peak_c", Json::arr(r.peak_c.iter().map(|&v| Json::from(v)))),
             ])
         })),
-        meta: Json::obj([
-            (
-                "designs",
-                Json::arr(MulticoreDesign::ALL.iter().map(|d| Json::from(d.label()))),
-            ),
-            ("apps", Json::from(study.rows.len())),
-            (
-                "average_speedup",
-                Json::arr(study.average_speedup().into_iter().map(Json::from)),
-            ),
-            (
-                "average_energy",
-                Json::arr(study.average_energy().into_iter().map(Json::from)),
-            ),
-            (
-                "average_peak_c",
-                Json::arr(study.average_peak_c().into_iter().map(Json::from)),
-            ),
-        ]),
+        meta: Json::obj(meta_fields),
         phases: vec![("design_space", t_space), ("simulate_and_solve", wall)],
         thermal: Some(stats),
         uops,
-    }
+    })
 }
 
 #[cfg(test)]

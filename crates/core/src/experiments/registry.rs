@@ -40,17 +40,32 @@ use std::time::Instant;
 pub struct Ctx {
     scale: RunScale,
     quick: bool,
+    jobs: usize,
     space: OnceLock<DesignSpace>,
 }
 
 impl Ctx {
-    /// Create a context for one `repro` run.
+    /// Create a context for one `repro` run (one batch worker lane).
     pub fn new(scale: RunScale, quick: bool) -> Self {
         Self {
             scale,
             quick,
+            jobs: 1,
             space: OnceLock::new(),
         }
+    }
+
+    /// Set the worker-lane count the uarch batch engine may use inside a
+    /// single experiment (the `repro --jobs` value). Results are identical
+    /// for every value; only wall time changes.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Worker lanes available to in-experiment batch simulation.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// The simulation window sizes for this run.
@@ -146,8 +161,10 @@ pub struct ExperimentSpec {
     /// Scheduling weight: heavier experiments are started first so the
     /// total wall time is bounded by the slowest experiment, not the sum.
     pub weight: u32,
-    /// The driver entry point.
-    pub run: fn(&Ctx) -> ExperimentReport,
+    /// The driver entry point. Typed failures (e.g. an invalid simulation
+    /// point) return `Err` and are reported like caught panics, without
+    /// tearing down the run.
+    pub run: fn(&Ctx) -> Result<ExperimentReport, String>,
 }
 
 /// All experiments, in the deterministic output order of `repro all`
@@ -424,7 +441,8 @@ pub fn run_experiments(
                         let _task = task.enter();
                         let _span = m3d_obs::span("registry", spec.name);
                         let report = catch_unwind(AssertUnwindSafe(|| (spec.run)(ctx)))
-                            .map_err(panic_message);
+                            .map_err(panic_message)
+                            .and_then(|r| r);
                         if let Ok(r) = &report {
                             m3d_obs::add("core.uops", r.uops);
                         }
@@ -497,16 +515,16 @@ mod tests {
         assert!(select(&["nope"]).is_err());
     }
 
-    fn ok_spec(ctx: &Ctx) -> ExperimentReport {
+    fn ok_spec(ctx: &Ctx) -> Result<ExperimentReport, String> {
         let _ = ctx.quick();
-        ExperimentReport {
+        Ok(ExperimentReport {
             sections: vec![Section::always("ok".to_owned())],
             rows: Json::from(1i64),
             ..Default::default()
-        }
+        })
     }
 
-    fn panicking_spec(_ctx: &Ctx) -> ExperimentReport {
+    fn panicking_spec(_ctx: &Ctx) -> Result<ExperimentReport, String> {
         panic!("boom");
     }
 

@@ -283,7 +283,7 @@ pub fn headroom_text_from(rows: &[HeadroomRow], stats: &SolveStatsSummary) -> St
 }
 
 /// Registry entry point for the Section 5 / 7.1.2 studies.
-pub fn report(_ctx: &Ctx) -> ExperimentReport {
+pub fn report(_ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = std::time::Instant::now();
     let enlarged = enlarged_structures();
     let t_enlarged = t0.elapsed().as_secs_f64();
@@ -293,7 +293,7 @@ pub fn report(_ctx: &Ctx) -> ExperimentReport {
     let t2 = std::time::Instant::now();
     let (headroom, stats) = thermal_headroom();
     let t_headroom = t2.elapsed().as_secs_f64();
-    ExperimentReport {
+    Ok(ExperimentReport {
         sections: vec![
             Section::always(enlarged_text_from(&enlarged)),
             Section::always(lp_top_text_from(&lp)),
@@ -341,7 +341,7 @@ pub fn report(_ctx: &Ctx) -> ExperimentReport {
         ],
         thermal: Some(stats),
         ..Default::default()
-    }
+    })
 }
 
 #[cfg(test)]

@@ -47,7 +47,7 @@ pub fn table11_text(space: &DesignSpace) -> String {
 }
 
 /// Registry entry point for Table 11 plus the thermal-feasibility check.
-pub fn report(ctx: &Ctx) -> ExperimentReport {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = std::time::Instant::now();
     let space = ctx.space();
     let t_space = t0.elapsed().as_secs_f64();
@@ -59,7 +59,7 @@ pub fn report(ctx: &Ctx) -> ExperimentReport {
         feasibility_text(&feas),
         thermal_stats_text("feasibility", &stats)
     );
-    ExperimentReport {
+    Ok(ExperimentReport {
         sections: vec![
             Section::always(table11_text(space)),
             Section::always(feas_section),
@@ -101,7 +101,7 @@ pub fn report(ctx: &Ctx) -> ExperimentReport {
         phases: vec![("design_space", t_space), ("feasibility", t_feas)],
         thermal: Some(stats),
         ..Default::default()
-    }
+    })
 }
 
 #[cfg(test)]

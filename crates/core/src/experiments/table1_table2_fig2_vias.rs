@@ -55,10 +55,10 @@ pub fn table1_text() -> String {
 }
 
 /// Registry entry point for Table 1.
-pub fn report_table1(_ctx: &Ctx) -> ExperimentReport {
+pub fn report_table1(_ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = Instant::now();
     let rows = table1();
-    ExperimentReport {
+    Ok(ExperimentReport {
         sections: vec![Section::always(table1_text())],
         rows: Json::arr(rows.iter().map(|r| {
             Json::obj([
@@ -71,7 +71,7 @@ pub fn report_table1(_ctx: &Ctx) -> ExperimentReport {
         meta: Json::obj([("node_nm", Json::from(15i64))]),
         phases: vec![("compute", t0.elapsed().as_secs_f64())],
         ..Default::default()
-    }
+    })
 }
 
 /// One row of Table 2.
@@ -111,10 +111,10 @@ pub fn table2_text() -> String {
 }
 
 /// Registry entry point for Table 2.
-pub fn report_table2(_ctx: &Ctx) -> ExperimentReport {
+pub fn report_table2(_ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = Instant::now();
     let rows = table2();
-    ExperimentReport {
+    Ok(ExperimentReport {
         sections: vec![Section::always(table2_text())],
         rows: Json::arr(rows.iter().map(|r| {
             Json::obj([
@@ -128,7 +128,7 @@ pub fn report_table2(_ctx: &Ctx) -> ExperimentReport {
         meta: Json::obj([("node_nm", Json::from(15i64))]),
         phases: vec![("compute", t0.elapsed().as_secs_f64())],
         ..Default::default()
-    }
+    })
 }
 
 /// One bar of Figure 2: a structure's area relative to the FO1 inverter.
@@ -176,10 +176,10 @@ pub fn fig2_text() -> String {
 }
 
 /// Registry entry point for Figure 2.
-pub fn report_fig2(_ctx: &Ctx) -> ExperimentReport {
+pub fn report_fig2(_ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = Instant::now();
     let bars = fig2();
-    ExperimentReport {
+    Ok(ExperimentReport {
         sections: vec![Section::always(fig2_text())],
         rows: Json::arr(bars.iter().map(|b| {
             Json::obj([
@@ -190,7 +190,7 @@ pub fn report_fig2(_ctx: &Ctx) -> ExperimentReport {
         meta: Json::obj([("node_nm", Json::from(15i64))]),
         phases: vec![("compute", t0.elapsed().as_secs_f64())],
         ..Default::default()
-    }
+    })
 }
 
 #[cfg(test)]

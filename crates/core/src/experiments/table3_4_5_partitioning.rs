@@ -149,27 +149,27 @@ fn report_for(strategy: Strategy, rows: Vec<PartitionRow>, text: String, wall_s:
 }
 
 /// Registry entry point for Table 3.
-pub fn report_table3(_ctx: &Ctx) -> ExperimentReport {
+pub fn report_table3(_ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = std::time::Instant::now();
     let rows = table3();
     let text = table3_text_from(&rows);
-    report_for(Strategy::Bit, rows, text, t0.elapsed().as_secs_f64())
+    Ok(report_for(Strategy::Bit, rows, text, t0.elapsed().as_secs_f64()))
 }
 
 /// Registry entry point for Table 4.
-pub fn report_table4(_ctx: &Ctx) -> ExperimentReport {
+pub fn report_table4(_ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = std::time::Instant::now();
     let rows = table4();
     let text = table4_text_from(&rows);
-    report_for(Strategy::Word, rows, text, t0.elapsed().as_secs_f64())
+    Ok(report_for(Strategy::Word, rows, text, t0.elapsed().as_secs_f64()))
 }
 
 /// Registry entry point for Table 5.
-pub fn report_table5(_ctx: &Ctx) -> ExperimentReport {
+pub fn report_table5(_ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = std::time::Instant::now();
     let rows = table5();
     let text = table5_text_from(&rows);
-    report_for(Strategy::Port, rows, text, t0.elapsed().as_secs_f64())
+    Ok(report_for(Strategy::Port, rows, text, t0.elapsed().as_secs_f64()))
 }
 
 #[cfg(test)]

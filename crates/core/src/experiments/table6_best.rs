@@ -38,13 +38,13 @@ pub fn table6_text(space: &DesignSpace) -> String {
 }
 
 /// Registry entry point for Table 6.
-pub fn report(ctx: &Ctx) -> ExperimentReport {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = std::time::Instant::now();
     let space = ctx.space();
     let t_space = t0.elapsed().as_secs_f64();
     let t1 = std::time::Instant::now();
     let text = table6_text(space);
-    ExperimentReport {
+    Ok(ExperimentReport {
         sections: vec![Section::always(text)],
         rows: Json::obj([
             (
@@ -62,7 +62,7 @@ pub fn report(ctx: &Ctx) -> ExperimentReport {
             ("render", t1.elapsed().as_secs_f64()),
         ],
         ..Default::default()
-    }
+    })
 }
 
 #[cfg(test)]

@@ -49,9 +49,9 @@ pub fn table7_text() -> String {
 }
 
 /// Registry entry point for Table 7.
-pub fn report(_ctx: &Ctx) -> ExperimentReport {
+pub fn report(_ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = std::time::Instant::now();
-    ExperimentReport {
+    Ok(ExperimentReport {
         sections: vec![Section::always(table7_text())],
         rows: Json::arr(table7().iter().map(|r| {
             Json::obj([
@@ -61,7 +61,7 @@ pub fn report(_ctx: &Ctx) -> ExperimentReport {
         })),
         phases: vec![("compute", t0.elapsed().as_secs_f64())],
         ..Default::default()
-    }
+    })
 }
 
 #[cfg(test)]

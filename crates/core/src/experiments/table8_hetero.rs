@@ -28,13 +28,13 @@ pub fn table8_text(space: &DesignSpace) -> String {
 }
 
 /// Registry entry point for Table 8.
-pub fn report(ctx: &Ctx) -> ExperimentReport {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t0 = std::time::Instant::now();
     let space = ctx.space();
     let t_space = t0.elapsed().as_secs_f64();
     let t1 = std::time::Instant::now();
     let text = table8_text(space);
-    ExperimentReport {
+    Ok(ExperimentReport {
         sections: vec![Section::always(text)],
         rows: Json::arr(space.het_best.iter().map(|p| p.to_json())),
         meta: Json::obj([("structures", Json::from(space.het_best.len()))]),
@@ -43,7 +43,7 @@ pub fn report(ctx: &Ctx) -> ExperimentReport {
             ("render", t1.elapsed().as_secs_f64()),
         ],
         ..Default::default()
-    }
+    })
 }
 
 #[cfg(test)]

@@ -1,5 +1,7 @@
 //! Simulator configuration (paper Table 9 plus the 3D design knobs).
 
+use crate::error::SimError;
+
 /// Cache geometry and round-trip latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -216,6 +218,73 @@ impl CoreConfig {
         self
     }
 
+    /// Check every invariant the simulator's internal structures assert on,
+    /// so a bad configuration surfaces as a typed [`SimError`] instead of a
+    /// panic deep inside cache or predictor construction. Called by
+    /// [`crate::Core::try_new`] and [`crate::Multicore::try_new`].
+    pub fn validate(&self) -> Result<(), SimError> {
+        fn positive_f64(v: f64, what: &'static str) -> Result<(), SimError> {
+            if !v.is_finite() {
+                return Err(SimError::NonFinite { what });
+            }
+            if v <= 0.0 {
+                return Err(SimError::NonPositive { what });
+            }
+            Ok(())
+        }
+        fn positive(v: usize, what: &'static str) -> Result<(), SimError> {
+            if v == 0 {
+                return Err(SimError::NonPositive { what });
+            }
+            Ok(())
+        }
+        fn cache(c: &CacheConfig, name: &'static str) -> Result<(), SimError> {
+            positive(c.ways, name)?;
+            positive(c.line_bytes, name)?;
+            let sets = c.size_bytes / (c.ways * c.line_bytes);
+            if !sets.is_power_of_two() {
+                return Err(SimError::CacheGeometry { cache: name, sets });
+            }
+            Ok(())
+        }
+        positive_f64(self.freq_ghz, "freq_ghz")?;
+        positive_f64(self.vdd, "vdd")?;
+        if !self.dram_ns.is_finite() || self.dram_ns < 0.0 {
+            return Err(SimError::NonFinite { what: "dram_ns" });
+        }
+        positive(self.dispatch_width, "dispatch_width")?;
+        positive(self.issue_width, "issue_width")?;
+        positive(self.commit_width, "commit_width")?;
+        positive(self.rob_entries, "rob_entries")?;
+        positive(self.iq_entries, "iq_entries")?;
+        positive(self.lq_entries, "lq_entries")?;
+        positive(self.sq_entries, "sq_entries")?;
+        positive(self.int_regs, "int_regs")?;
+        positive(self.fp_regs, "fp_regs")?;
+        positive(self.fus.alus, "fus.alus")?;
+        positive(self.fus.lsus, "fus.lsus")?;
+        cache(&self.il1, "il1")?;
+        cache(&self.dl1, "dl1")?;
+        cache(&self.l2, "l2")?;
+        cache(&self.l3, "l3")?;
+        if !self.bpred_entries.is_power_of_two() {
+            return Err(SimError::PredictorGeometry {
+                entries: self.bpred_entries,
+            });
+        }
+        positive(self.btb_ways, "btb_ways")?;
+        if !self.btb_entries.is_multiple_of(self.btb_ways)
+            || !(self.btb_entries / self.btb_ways).is_power_of_two()
+        {
+            return Err(SimError::BtbGeometry {
+                entries: self.btb_entries,
+                ways: self.btb_ways,
+            });
+        }
+        positive(self.ras_entries, "ras_entries")?;
+        Ok(())
+    }
+
     /// DRAM round-trip in core cycles at this configuration's frequency.
     pub fn dram_cycles(&self) -> u64 {
         (self.dram_ns * self.freq_ghz).round() as u64
@@ -277,5 +346,56 @@ mod tests {
     #[should_panic(expected = "frequency must be positive")]
     fn rejects_bad_frequency() {
         let _ = CoreConfig::base_2d().with_frequency(0.0);
+    }
+
+    #[test]
+    fn validate_accepts_every_paper_knob() {
+        for cfg in [
+            CoreConfig::base_2d(),
+            CoreConfig::base_2d().with_3d_paths(),
+            CoreConfig::base_2d().with_shared_l2(),
+            CoreConfig::base_2d().with_issue_width(8),
+            CoreConfig::base_2d().with_complex_decoder_in_top(),
+            CoreConfig::base_2d().with_frequency(4.34).with_vdd(0.9),
+        ] {
+            assert_eq!(cfg.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        let mut c = CoreConfig::base_2d();
+        c.dl1.size_bytes = 3000; // 3000 / (8*32) = 11 sets: not a power of two
+        assert!(matches!(
+            c.validate(),
+            Err(SimError::CacheGeometry { cache: "dl1", .. })
+        ));
+
+        let mut c = CoreConfig::base_2d();
+        c.bpred_entries = 1000;
+        assert!(matches!(
+            c.validate(),
+            Err(SimError::PredictorGeometry { entries: 1000 })
+        ));
+
+        let mut c = CoreConfig::base_2d();
+        c.btb_ways = 3;
+        assert!(matches!(c.validate(), Err(SimError::BtbGeometry { .. })));
+
+        let mut c = CoreConfig::base_2d();
+        c.freq_ghz = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(SimError::NonFinite { what: "freq_ghz" })
+        ));
+
+        let mut c = CoreConfig::base_2d();
+        c.rob_entries = 0;
+        assert!(matches!(
+            c.validate(),
+            Err(SimError::NonPositive {
+                what: "rob_entries"
+            })
+        ));
     }
 }

@@ -47,7 +47,10 @@ pub(crate) fn activity_sub(a: &mut ActivityStats, b: &ActivityStats) {
 }
 
 /// Coordination state for barrier µops across cores.
-#[derive(Debug, Default)]
+///
+/// The arrival set is a 32-bit mask, so at most [`crate::MAX_CORES`] cores
+/// can participate; [`crate::Multicore::try_new`] enforces the limit.
+#[derive(Debug, Clone, Default)]
 pub struct BarrierCtl {
     arrived: HashMap<u64, u32>,
     n_cores: u32,
@@ -77,7 +80,11 @@ impl BarrierCtl {
 
 /// One core's pipeline state. Drive it with [`CoreEngine::step`] against a
 /// shared [`MemorySystem`] and [`BarrierCtl`].
-#[derive(Debug)]
+///
+/// `Clone` duplicates the full architectural and microarchitectural state
+/// (ROB, RAT, predictors, trace generator position) — the batch engine uses
+/// this to checkpoint warmed-up machines.
+#[derive(Debug, Clone)]
 pub struct CoreEngine {
     /// This core's index.
     pub core_id: usize,
@@ -533,7 +540,11 @@ impl CoreEngine {
 }
 
 /// A convenience wrapper owning one core plus its private memory system.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the whole machine (pipeline, caches, trace position);
+/// the batch engine clones a warmed-up `Core` to share warm-up across
+/// measurement intervals.
+#[derive(Debug, Clone)]
 pub struct Core {
     engine: CoreEngine,
     mem: MemorySystem,
@@ -544,41 +555,73 @@ pub struct Core {
 
 impl Core {
     /// Build a single-core simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`Core::try_new`]).
     pub fn new(core_id: usize, cfg: CoreConfig, gen: TraceGenerator) -> Self {
+        match Self::try_new(core_id, cfg, gen) {
+            Ok(c) => c,
+            Err(e) => panic!("invalid core configuration: {e}"),
+        }
+    }
+
+    /// Fallible constructor: validates the configuration before building
+    /// any cache or predictor state (whose own constructors would panic on
+    /// bad geometry).
+    pub fn try_new(
+        core_id: usize,
+        cfg: CoreConfig,
+        gen: TraceGenerator,
+    ) -> Result<Self, crate::error::SimError> {
+        cfg.validate()?;
         let freq = cfg.freq_ghz;
-        Self {
+        Ok(Self {
             engine: CoreEngine::new(core_id, cfg.clone(), gen),
             mem: MemorySystem::new(cfg, 1),
             barriers: BarrierCtl::new(1),
             freq_ghz: freq,
             cycle: 0,
-        }
+        })
     }
 
     /// Run until `n` more µops commit (with a safety cycle cap) and report
     /// the cycles spent in this interval. Consecutive runs continue the same
     /// machine state, so a first short run serves as warm-up.
+    ///
+    /// The cap is `n * 200` cycles (at least 10k). If the core does not
+    /// reach its commit target by then — possible with extreme memory
+    /// latencies — the result covers the truncated interval only:
+    /// `instructions` reports the µops actually committed and
+    /// [`PerfResult::cap_exhausted`] is set.
     pub fn run(&mut self, n: u64) -> PerfResult {
         self.engine.set_target(self.engine.committed + n);
         self.engine.cycle_at_target = None;
-        let start_cycle = self.cycle;
         let start_stats = self.engine.stats;
+        let start_committed = self.engine.committed;
+        let start_cycle = self.cycle;
         let cap = start_cycle + n.saturating_mul(200).max(10_000);
         while self.engine.cycle_at_target.is_none() && self.cycle < cap {
             self.engine
                 .step(self.cycle, &mut self.mem, &mut self.barriers);
             self.cycle += 1;
         }
+        let cap_exhausted = self.engine.cycle_at_target.is_none();
         let end = self.engine.cycle_at_target.unwrap_or(self.cycle);
         let mut activity = self.engine.stats_at_target();
         activity_sub(&mut activity, &start_stats);
         PerfResult {
             cycles: end - start_cycle,
-            instructions: n,
+            instructions: if cap_exhausted {
+                self.engine.committed - start_committed
+            } else {
+                n
+            },
             freq_ghz: self.freq_ghz,
             activity,
             cache_levels: self.mem.level_counters(),
             mem: self.mem.stats,
+            cap_exhausted,
         }
     }
 }

@@ -33,15 +33,23 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod bpred;
 pub mod cache;
 pub mod config;
 pub mod core;
+pub mod error;
 pub mod memory;
 pub mod multicore;
 pub mod stats;
 
+/// Maximum core count a [`Multicore`] supports: the barrier controller and
+/// the coherence directory track cores in 32-bit masks.
+pub const MAX_CORES: usize = 32;
+
+pub use batch::{BatchStats, SimBatch, SimInterval, SimPoint};
 pub use config::CoreConfig;
 pub use core::Core;
+pub use error::SimError;
 pub use multicore::Multicore;
 pub use stats::{ActivityStats, PerfResult};

@@ -37,7 +37,10 @@ pub struct MemStats {
 }
 
 /// The shared memory system for `n` cores.
-#[derive(Debug)]
+///
+/// `Clone` snapshots every cache and the coherence directory; the batch
+/// engine relies on this when checkpointing warmed-up machines.
+#[derive(Debug, Clone)]
 pub struct MemorySystem {
     cfg: CoreConfig,
     n_cores: usize,

@@ -3,12 +3,17 @@
 
 use crate::config::CoreConfig;
 use crate::core::{BarrierCtl, CoreEngine};
+use crate::error::SimError;
 use crate::memory::MemorySystem;
 use crate::stats::{ActivityStats, PerfResult};
 use m3d_workloads::{TraceGenerator, WorkloadProfile};
 
 /// An `n`-core chip multiprocessor running one parallel workload.
-#[derive(Debug)]
+///
+/// `Clone` captures the complete machine state (pipeline, caches, directory,
+/// barrier control and per-core trace generators), which is what the batch
+/// engine uses to checkpoint a warmed-up machine and resume it several times.
+#[derive(Debug, Clone)]
 pub struct Multicore {
     cores: Vec<CoreEngine>,
     mem: MemorySystem,
@@ -23,22 +28,46 @@ impl Multicore {
     ///
     /// # Panics
     ///
-    /// Panics if `n_cores` is zero.
+    /// Panics if the configuration is invalid (see [`Multicore::try_new`]).
     pub fn new(cfg: CoreConfig, profile: &WorkloadProfile, seed: u64, n_cores: usize) -> Self {
-        assert!(n_cores > 0, "need at least one core");
+        match Self::try_new(cfg, profile, seed, n_cores) {
+            Ok(mc) => mc,
+            Err(e) => panic!("invalid multicore configuration: {e}"),
+        }
+    }
+
+    /// Fallible constructor: validates the core configuration and the core
+    /// count (the barrier bitmask and directory sharer masks are 32 bits
+    /// wide, so `n_cores` must be in `1..=32`) before building any state.
+    pub fn try_new(
+        cfg: CoreConfig,
+        profile: &WorkloadProfile,
+        seed: u64,
+        n_cores: usize,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
+        if n_cores == 0 {
+            return Err(SimError::ZeroCores);
+        }
+        if n_cores > crate::MAX_CORES {
+            return Err(SimError::TooManyCores {
+                n_cores,
+                max: crate::MAX_CORES,
+            });
+        }
         let cores = (0..n_cores)
             .map(|c| {
                 let gen = TraceGenerator::new(profile, seed, c, n_cores);
                 CoreEngine::new(c, cfg.clone(), gen)
             })
             .collect();
-        Self {
+        Ok(Self {
             cores,
             mem: MemorySystem::new(cfg.clone(), n_cores),
             barriers: BarrierCtl::new(n_cores),
             freq_ghz: cfg.freq_ghz,
             cycle: 0,
-        }
+        })
     }
 
     /// Number of cores.
@@ -50,6 +79,14 @@ impl Multicore {
     /// cycle count is the slowest core's completion of this interval
     /// (parallel completion time). Consecutive runs continue the same
     /// machine state, so a first short run serves as warm-up.
+    ///
+    /// The loop carries a livelock cap of `n_per_core * 400` cycles (at
+    /// least 10k). If any core fails to reach its commit target before the
+    /// cap, the result covers only the truncated interval actually
+    /// simulated: `instructions` is the number of µops that really
+    /// committed (not the nominal `n_per_core * n_cores`) and
+    /// [`PerfResult::cap_exhausted`] is set so callers can refuse to treat
+    /// the numbers as a full-interval measurement.
     pub fn run(&mut self, n_per_core: u64) -> PerfResult {
         let start_cycle = self.cycle;
         let start_stats: Vec<ActivityStats> = self.cores.iter().map(|c| c.stats).collect();
@@ -64,25 +101,32 @@ impl Multicore {
             }
             self.cycle += 1;
         }
+        let cap_exhausted = self.cores.iter().any(|c| c.cycle_at_target.is_none());
         let finish = self
             .cores
             .iter()
             .map(|c| c.cycle_at_target.unwrap_or(self.cycle))
             .max()
-            .expect("at least one core");
+            .unwrap_or(self.cycle);
         let mut activity = ActivityStats::default();
         for (c, start) in self.cores.iter().zip(&start_stats) {
             let mut a = c.stats_at_target();
             crate::core::activity_sub(&mut a, start);
             activity.merge(&a);
         }
+        let instructions = if cap_exhausted {
+            activity.committed
+        } else {
+            n_per_core * self.cores.len() as u64
+        };
         PerfResult {
             cycles: finish - start_cycle,
-            instructions: n_per_core * self.cores.len() as u64,
+            instructions,
             freq_ghz: self.freq_ghz,
             activity,
             cache_levels: self.mem.level_counters(),
             mem: self.mem.stats,
+            cap_exhausted,
         }
     }
 }
@@ -135,6 +179,48 @@ mod tests {
         // L2 reach, so completion time should not regress meaningfully.
         let ratio = paired.time_s() / base.time_s();
         assert!(ratio < 1.05, "paired/base time ratio {ratio}");
+    }
+
+    #[test]
+    fn livelock_cap_is_reported_not_silent() {
+        // A pathological DRAM latency (≫ the cycle cap) guarantees no core
+        // reaches its commit target; the result must say so instead of
+        // pretending the nominal interval completed.
+        let mut cfg = CoreConfig::base_2d();
+        cfg.dram_ns = 1.0e6;
+        let p = parallel_by_name("Ocean").expect("profile");
+        let mut mc = Multicore::new(cfg, &p, 17, 2);
+        let r = mc.run(1_000);
+        assert!(r.cap_exhausted, "cap exhaustion must be recorded");
+        assert!(
+            r.instructions < 2 * 1_000,
+            "truncated run must not claim the nominal µop count"
+        );
+        assert_eq!(
+            r.instructions, r.activity.committed,
+            "truncated run reports the µops actually committed"
+        );
+        // A healthy run stays clean.
+        let healthy = run("Ocean", CoreConfig::base_2d(), 2, 20_000);
+        assert!(!healthy.cap_exhausted);
+        assert_eq!(healthy.instructions, 2 * 20_000);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_input() {
+        use crate::error::SimError;
+        let p = parallel_by_name("Ocean").expect("profile");
+        assert!(matches!(
+            Multicore::try_new(CoreConfig::base_2d(), &p, 1, 0),
+            Err(SimError::ZeroCores)
+        ));
+        assert!(matches!(
+            Multicore::try_new(CoreConfig::base_2d(), &p, 1, 33),
+            Err(SimError::TooManyCores { n_cores: 33, max: 32 })
+        ));
+        let mut cfg = CoreConfig::base_2d();
+        cfg.bpred_entries = 999;
+        assert!(Multicore::try_new(cfg, &p, 1, 4).is_err());
     }
 
     #[test]

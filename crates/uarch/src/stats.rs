@@ -128,6 +128,11 @@ pub struct PerfResult {
     pub cache_levels: [(u64, u64); 4],
     /// Memory-system statistics.
     pub mem: MemStats,
+    /// True when the run hit its livelock cap before every core reached its
+    /// commit target: `cycles` and `instructions` then cover the truncated
+    /// interval actually simulated, not the requested one. Drivers must
+    /// surface this instead of reporting the numbers as a full interval.
+    pub cap_exhausted: bool,
 }
 
 impl PerfResult {
@@ -163,6 +168,7 @@ mod tests {
             activity: ActivityStats::default(),
             cache_levels: [(0, 0); 4],
             mem: MemStats::default(),
+            cap_exhausted: false,
         }
     }
 

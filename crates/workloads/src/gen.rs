@@ -86,6 +86,12 @@ pub struct TraceGenerator {
 impl TraceGenerator {
     /// Create a generator for `core_id` of `n_cores` running `profile`.
     ///
+    /// `n_cores` is validation-only: the op stream of a given `core_id` is
+    /// a pure function of `(profile, seed, core_id)`, so scaling a design
+    /// to more cores never perturbs the cores that already existed. The
+    /// batch engine's checkpoint sharing relies on this guarantee, and
+    /// `streams_are_independent_of_core_count` pins it.
+    ///
     /// # Panics
     ///
     /// Panics if `core_id >= n_cores` or `n_cores == 0`.
@@ -500,6 +506,22 @@ mod tests {
             lines.len(),
             hot_lines.len()
         );
+    }
+
+    #[test]
+    fn streams_are_independent_of_core_count() {
+        // A core's op stream depends on (profile, seed, core_id) only —
+        // never on how many siblings exist. Use a sharing-heavy parallel
+        // profile so barriers and shared accesses are exercised too.
+        let p = &splash_parsec()[2]; // Canneal
+        for core_id in [0usize, 1, 3] {
+            let mut small = TraceGenerator::new(p, 7, core_id, 4);
+            let mut large = TraceGenerator::new(p, 7, core_id, 32);
+            for i in 0..20_000 {
+                let (a, b) = (small.next_op(), large.next_op());
+                assert_eq!(a, b, "core {core_id} diverged at op {i}");
+            }
+        }
     }
 
     #[test]
