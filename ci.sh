@@ -31,6 +31,40 @@ grep -q '"metrics"' target/repro-ci/manifest.json || {
   exit 1
 }
 
+echo "== serve smoke test (ephemeral port, loadgen, graceful shutdown) =="
+# Start the query daemon on an ephemeral port, let loadgen drive one
+# planner + sim + stats round trip, then check SIGTERM drains and exits 0.
+SERVE_PORT_FILE=target/serve-ci.port
+rm -f "$SERVE_PORT_FILE"
+./target/release/serve --quick --port-file "$SERVE_PORT_FILE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SERVE_PORT_FILE" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || {
+    echo "ci.sh: serve died before listening" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+SERVE_ADDR=$(cat "$SERVE_PORT_FILE")
+[ -n "$SERVE_ADDR" ] || {
+  echo "ci.sh: serve never wrote its port file" >&2
+  exit 1
+}
+./target/release/loadgen --addr "$SERVE_ADDR" --smoke || {
+  echo "ci.sh: serve smoke queries failed" >&2
+  kill -9 "$SERVE_PID" 2>/dev/null || true
+  exit 1
+}
+kill -TERM "$SERVE_PID"
+SERVE_RC=0
+wait "$SERVE_PID" || SERVE_RC=$?
+[ "$SERVE_RC" -eq 0 ] || {
+  echo "ci.sh: serve did not shut down gracefully (exit $SERVE_RC)" >&2
+  exit 1
+}
+rm -f "$SERVE_PORT_FILE"
+
 echo "== perf_baseline --check (counter-drift gate) =="
 # Deterministic integer counters (solver sweeps, warm-start hits, search
 # candidates, µops, batch-engine points/hits/reuses/cycles) must match the
@@ -44,6 +78,14 @@ grep -q '"uarch.batch.points"' BENCH_repro.json || {
 }
 grep -q '"batch_probe"' BENCH_repro.json || {
   echo "ci.sh: BENCH_repro.json lacks the batch sharding probe" >&2
+  exit 1
+}
+grep -q '"serve_probe"' BENCH_repro.json || {
+  echo "ci.sh: BENCH_repro.json lacks the serve throughput probe" >&2
+  exit 1
+}
+grep -q '"serve\.' BENCH_repro.json || {
+  echo "ci.sh: BENCH_repro.json lacks the serve.* request counters" >&2
   exit 1
 }
 

@@ -77,7 +77,7 @@ pub fn experiment_json(o: &Outcome) -> Json {
             ));
             fields.push(("uops".to_owned(), Json::from(r.uops)));
         }
-        Err(msg) => fields.push(("error".to_owned(), Json::from(msg.clone()))),
+        Err(err) => fields.push(("error".to_owned(), Json::from(err.to_string()))),
     }
     Json::Obj(fields)
 }
@@ -207,7 +207,7 @@ pub fn write_artifacts(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use m3d_core::experiments::registry::{find, ExperimentReport, Outcome};
+    use m3d_core::experiments::registry::{find, ExperimentError, ExperimentReport, Outcome};
 
     fn outcome(name: &str, start_s: f64, wall_s: f64, ok: bool) -> Outcome {
         Outcome {
@@ -218,7 +218,7 @@ mod tests {
                     ..Default::default()
                 })
             } else {
-                Err("boom".to_owned())
+                Err(ExperimentError::Panic("boom".to_owned()))
             },
             start_s,
             wall_s,

@@ -20,6 +20,7 @@
 //! overhead probe are informational and never gated.
 
 use m3d_bench::baseline::{baseline_from_json, baseline_json, drift, measure};
+use m3d_bench::serve_probe::{measure_serve, serve_probe_json};
 use m3d_core::report::Json;
 use std::path::Path;
 
@@ -56,9 +57,32 @@ fn main() {
         current.batch_speedup()
     );
 
+    // The serve probe is informational (wall-clock, machine-dependent) and
+    // never gated; a missing serve binary skips it rather than failing.
+    let serve = match measure_serve() {
+        Ok(p) => {
+            eprintln!(
+                "[perf_baseline] serve probe: {:.1} rps warm daemon vs \
+                 {:.1} rps cold oneshot ({:.1}x)",
+                p.warm_rps,
+                p.cold_rps,
+                p.speedup()
+            );
+            Some(p)
+        }
+        Err(e) => {
+            eprintln!("[perf_baseline] serve probe skipped: {e}");
+            None
+        }
+    };
+
     match mode {
         "--write" => {
-            let body = baseline_json(&current).render() + "\n";
+            let mut doc = baseline_json(&current);
+            if let (Json::Obj(fields), Some(p)) = (&mut doc, &serve) {
+                fields.push(("serve_probe".to_owned(), serve_probe_json(p)));
+            }
+            let body = doc.render() + "\n";
             if let Err(e) = std::fs::write(path, body) {
                 eprintln!("[perf_baseline] cannot write {}: {e}", path.display());
                 std::process::exit(1);

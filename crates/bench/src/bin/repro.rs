@@ -3,7 +3,7 @@
 //! # Usage
 //!
 //! ```text
-//! repro [--quick] [--jobs N] [--out-dir DIR] [experiment ...]
+//! repro [--quick] [--jobs N] [--out-dir DIR] [--list] [experiment ...]
 //! ```
 //!
 //! With no experiment names, everything runs at full scale (the slowest
@@ -41,6 +41,11 @@
 //!   per-solver spans on the worker lanes; open it in Perfetto
 //!   (<https://ui.perfetto.dev>) or `chrome://tracing`.
 //!
+//! * `--list` — print every registry entry (`name`, declared dependencies,
+//!   scheduling weight) one per line and exit; shares the registry
+//!   iterator with `m3d-serve`, so the two can never disagree about what
+//!   exists.
+//!
 //! Instrumentation never touches stdout: rendered tables stay
 //! byte-identical with and without `--metrics`/`--trace-out`.
 //!
@@ -62,14 +67,10 @@
 //! their artifacts are still written), `2` on a usage error.
 
 use m3d_bench::artifacts::{write_artifacts, RunInfo};
-use m3d_core::experiments::registry::{run_experiments, select, Ctx};
+use m3d_core::experiments::registry::{entries, run_experiments, select, Ctx, MAX_JOBS};
 use m3d_core::experiments::RunScale;
 use std::path::PathBuf;
 use std::time::Instant;
-
-/// Worker-pool sizes beyond this are a typo, not a machine: the registry
-/// holds 16 experiments, so extra workers would only idle.
-const MAX_JOBS: usize = 64;
 
 /// Parsed command line.
 struct Args {
@@ -78,6 +79,7 @@ struct Args {
     out_dir: Option<PathBuf>,
     metrics: bool,
     trace_out: Option<PathBuf>,
+    list: bool,
     wanted: Vec<String>,
 }
 
@@ -94,6 +96,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         out_dir: None,
         metrics: false,
         trace_out: None,
+        list: false,
         wanted: Vec::new(),
     };
     let mut it = argv.iter();
@@ -114,14 +117,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             args.quick = true;
         } else if a == "--metrics" {
             args.metrics = true;
+        } else if a == "--list" {
+            args.list = true;
         } else if let Some(v) = flag_value("--jobs")? {
-            args.jobs = v
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| (1..=MAX_JOBS).contains(&n))
-                .ok_or_else(|| {
-                    format!("--jobs needs an integer between 1 and {MAX_JOBS}, got `{v}`")
-                })?;
+            // Range validation happens in `CtxBuilder::build`; the CLI only
+            // rejects values that are not integers at all.
+            args.jobs = v.parse::<usize>().map_err(|_| {
+                format!("--jobs needs an integer between 1 and {MAX_JOBS}, got `{v}`")
+            })?;
         } else if let Some(v) = flag_value("--out-dir")? {
             args.out_dir = Some(PathBuf::from(v));
         } else if let Some(v) = flag_value("--trace-out")? {
@@ -135,19 +138,34 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
+fn usage() {
+    eprintln!(
+        "usage: repro [--quick] [--jobs N] [--out-dir DIR] [--metrics] \
+         [--trace-out FILE] [--list] [experiment ...]"
+    );
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("[repro] {e}");
-            eprintln!(
-                "usage: repro [--quick] [--jobs N] [--out-dir DIR] [--metrics] \
-                 [--trace-out FILE] [experiment ...]"
-            );
+            usage();
             std::process::exit(2);
         }
     };
+    if args.list {
+        for (name, deps, weight) in entries() {
+            let deps = if deps.is_empty() {
+                "-".to_owned()
+            } else {
+                deps.join(",")
+            };
+            println!("{name}\tdeps={deps}\tweight={weight}");
+        }
+        return;
+    }
     let wanted: Vec<&str> = args.wanted.iter().map(String::as_str).collect();
     let selected = match select(&wanted) {
         Ok(s) => s,
@@ -172,7 +190,19 @@ fn main() {
     } else {
         RunScale::full()
     };
-    let ctx = Ctx::new(scale, args.quick).with_jobs(args.jobs);
+    let ctx = match Ctx::builder()
+        .scale(scale)
+        .quick(args.quick)
+        .jobs(args.jobs)
+        .build()
+    {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("[repro] {e}");
+            usage();
+            std::process::exit(2);
+        }
+    };
     let t0 = Instant::now();
     let outcomes = run_experiments(&ctx, &selected, args.jobs, |o| match &o.report {
         Ok(r) => {

@@ -6,6 +6,7 @@
 
 pub mod artifacts;
 pub mod baseline;
+pub mod serve_probe;
 
 use m3d_core::planner::DesignSpace;
 use std::sync::OnceLock;

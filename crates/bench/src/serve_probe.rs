@@ -1,0 +1,318 @@
+//! The `perf_baseline` serve probe: warm-daemon vs cold-process `sim`
+//! throughput.
+//!
+//! The probe answers one question: *what does keeping the daemon (and its
+//! memo cache) warm actually buy over spawning a fresh process per
+//! query?* It spawns the sibling `serve` binary twice:
+//!
+//! * **warm** — one daemon on an ephemeral port, one connection, a
+//!   closed-loop stream of single-point `sim` queries drawn from a small
+//!   fixed pool, so after the first pass every query is a memo-cache hit;
+//! * **cold** — `serve --oneshot` once per query (stdin/stdout, no TCP),
+//!   the honest "no daemon" baseline: every query pays process start-up,
+//!   engine construction and an uncached simulation.
+//!
+//! Both sides run `--quick --jobs 1`. The numbers are wall-clock and
+//! machine-dependent, so the resulting `serve_probe` block in
+//! `BENCH_repro.json` is informational and never gated — unlike the
+//! `serve.*` counters it also captures, which CI greps for presence.
+//!
+//! This module deliberately does **not** depend on `m3d-serve` (the
+//! workspace keeps `bench` below `serve` in the crate DAG); it speaks the
+//! documented NDJSON grammar directly and finds the `serve` binary next
+//! to the running `perf_baseline` executable.
+
+use m3d_core::report::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Requests timed in the warm (daemon) phase.
+pub const WARM_REQUESTS: usize = 60;
+
+/// Process spawns timed in the cold (oneshot) phase.
+pub const COLD_REQUESTS: usize = 5;
+
+/// The fixed point pool: small enough that the warm phase is cache-hit
+/// dominated after one pass, varied enough to exercise distinct warm keys.
+const POOL_APPS: [&str; 3] = ["Gcc", "Mcf", "Bzip2"];
+const POOL_SEEDS: [u64; 2] = [0, 1];
+
+/// One serve-probe measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeProbe {
+    /// Closed-loop requests answered per second by the warm daemon.
+    pub warm_rps: f64,
+    /// Queries per second when every query spawns a fresh `--oneshot`
+    /// process.
+    pub cold_rps: f64,
+    /// `serve.*` counters from the daemon's final `stats` answer.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ServeProbe {
+    /// Warm-over-cold throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.cold_rps > 0.0 {
+            self.warm_rps / self.cold_rps
+        } else {
+            0.0
+        }
+    }
+}
+
+fn sim_line(id: usize, app: &str, seed: u64) -> String {
+    Json::obj([
+        ("id", Json::from(id as i64)),
+        ("method", Json::from("sim")),
+        (
+            "params",
+            Json::obj([
+                ("app", Json::from(app)),
+                ("design", Json::from("Base")),
+                ("seed", Json::from(seed)),
+                ("warmup", Json::from(3_000u64)),
+                ("measure", Json::from(2_000u64)),
+            ]),
+        ),
+    ])
+    .render_compact()
+}
+
+fn pool_point(k: usize) -> (&'static str, u64) {
+    (
+        POOL_APPS[k % POOL_APPS.len()],
+        POOL_SEEDS[(k / POOL_APPS.len()) % POOL_SEEDS.len()],
+    )
+}
+
+fn serve_binary() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me
+        .parent()
+        .ok_or_else(|| "executable has no parent directory".to_owned())?;
+    let path = dir.join(format!("serve{}", std::env::consts::EXE_SUFFIX));
+    if path.is_file() {
+        Ok(path)
+    } else {
+        Err(format!(
+            "serve binary not found at {} (build it with `cargo build --release -p m3d-serve`)",
+            path.display()
+        ))
+    }
+}
+
+/// Kill-on-drop guard so a failing probe never leaks a daemon.
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn expect_ok(line: &str) -> Result<Json, String> {
+    let j = Json::parse(line).map_err(|e| format!("unparsable reply `{line}`: {e}"))?;
+    match j.get("ok") {
+        Some(Json::Bool(true)) => Ok(j),
+        _ => Err(format!("serve answered an error: {line}")),
+    }
+}
+
+fn warm_phase(serve: &PathBuf) -> Result<(f64, Vec<(String, u64)>), String> {
+    let port_file = std::env::temp_dir().join(format!("m3d_serve_probe_{}.port", std::process::id()));
+    let _ = std::fs::remove_file(&port_file);
+    let child = Command::new(serve)
+        .args(["--quick", "--jobs", "1", "--addr", "127.0.0.1:0"])
+        .arg("--port-file")
+        .arg(&port_file)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", serve.display()))?;
+    let mut child = ChildGuard(child);
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            let text = text.trim().to_owned();
+            if !text.is_empty() {
+                break text;
+            }
+        }
+        if let Ok(Some(status)) = child.0.try_wait() {
+            return Err(format!("serve exited before listening: {status}"));
+        }
+        if Instant::now() >= deadline {
+            return Err("serve did not write its port file within 20s".to_owned());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut call = |line: &str| -> Result<String, String> {
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| format!("write: {e}"))?;
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(0) => Err("serve closed the connection".to_owned()),
+            Ok(_) => Ok(reply.trim_end().to_owned()),
+            Err(e) => Err(format!("read: {e}")),
+        }
+    };
+
+    // First pass over the pool populates the memo cache, untimed.
+    for k in 0..POOL_APPS.len() * POOL_SEEDS.len() {
+        let (app, seed) = pool_point(k);
+        expect_ok(&call(&sim_line(k, app, seed))?)?;
+    }
+    let t0 = Instant::now();
+    for k in 0..WARM_REQUESTS {
+        let (app, seed) = pool_point(k);
+        expect_ok(&call(&sim_line(100 + k, app, seed))?)?;
+    }
+    let warm_s = t0.elapsed().as_secs_f64();
+
+    let stats = expect_ok(&call(r#"{"id":999,"method":"stats"}"#)?)?;
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    if let Some(Json::Obj(cs)) = stats
+        .get("result")
+        .and_then(|r| r.get("metrics"))
+        .and_then(|m| m.get("counters"))
+    {
+        for (name, v) in cs {
+            if let (true, Json::Int(i)) = (name.starts_with("serve."), v) {
+                counters.push((name.clone(), (*i).max(0) as u64));
+            }
+        }
+    }
+    if counters.is_empty() {
+        return Err("stats answer carried no serve.* counters".to_owned());
+    }
+
+    drop(child); // SIGKILL is fine here; graceful shutdown is ci.sh's job.
+    let _ = std::fs::remove_file(&port_file);
+    if warm_s <= 0.0 {
+        return Err("warm phase measured zero wall time".to_owned());
+    }
+    Ok((WARM_REQUESTS as f64 / warm_s, counters))
+}
+
+fn cold_phase(serve: &PathBuf) -> Result<f64, String> {
+    let t0 = Instant::now();
+    for k in 0..COLD_REQUESTS {
+        let mut child = Command::new(serve)
+            .args(["--oneshot", "--quick", "--jobs", "1"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawn oneshot: {e}"))?;
+        {
+            let mut stdin = child.stdin.take().ok_or("no stdin")?;
+            // Same point every iteration: each process starts with an
+            // empty cache, so each query is genuinely cold.
+            let (app, seed) = pool_point(0);
+            writeln!(stdin, "{}", sim_line(k, app, seed)).map_err(|e| format!("write: {e}"))?;
+            // Dropping stdin closes it; oneshot exits at EOF.
+        }
+        let out = child
+            .wait_with_output()
+            .map_err(|e| format!("wait oneshot: {e}"))?;
+        if !out.status.success() {
+            return Err(format!("oneshot exited with {}", out.status));
+        }
+        let reply = String::from_utf8_lossy(&out.stdout);
+        expect_ok(reply.trim())?;
+    }
+    let cold_s = t0.elapsed().as_secs_f64();
+    if cold_s <= 0.0 {
+        return Err("cold phase measured zero wall time".to_owned());
+    }
+    Ok(COLD_REQUESTS as f64 / cold_s)
+}
+
+/// Run both phases against the sibling `serve` binary. Returns an error
+/// (and the caller skips the block) when the binary is missing — e.g. a
+/// `cargo run -p m3d-bench` without a prior workspace build.
+pub fn measure_serve() -> Result<ServeProbe, String> {
+    let serve = serve_binary()?;
+    let (warm_rps, counters) = warm_phase(&serve)?;
+    let cold_rps = cold_phase(&serve)?;
+    Ok(ServeProbe {
+        warm_rps,
+        cold_rps,
+        counters,
+    })
+}
+
+/// The informational `serve_probe` block for `BENCH_repro.json`.
+pub fn serve_probe_json(p: &ServeProbe) -> Json {
+    Json::obj([
+        ("warm_requests", Json::from(WARM_REQUESTS)),
+        ("warm_rps", Json::from(p.warm_rps)),
+        ("cold_requests", Json::from(COLD_REQUESTS)),
+        ("cold_rps", Json::from(p.cold_rps)),
+        ("speedup", Json::from(p.speedup())),
+        (
+            "counters",
+            Json::Obj(
+                p.counters
+                    .iter()
+                    .map(|(n, v)| (n.clone(), Json::from(*v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_cycles_through_apps_and_seeds() {
+        let unique: std::collections::BTreeSet<_> =
+            (0..POOL_APPS.len() * POOL_SEEDS.len()).map(pool_point).collect();
+        assert_eq!(unique.len(), POOL_APPS.len() * POOL_SEEDS.len());
+        // The timed loop only revisits pool points (cache-hit dominated).
+        for k in 0..WARM_REQUESTS {
+            assert!(unique.contains(&pool_point(k)));
+        }
+    }
+
+    #[test]
+    fn probe_json_shape_is_stable() {
+        let p = ServeProbe {
+            warm_rps: 500.0,
+            cold_rps: 16.0,
+            counters: vec![("serve.requests".to_owned(), 66)],
+        };
+        assert!((p.speedup() - 31.25).abs() < 1e-9);
+        let j = serve_probe_json(&p);
+        let parsed = Json::parse(&j.render()).expect("valid JSON");
+        assert_eq!(parsed.get("speedup"), Some(&Json::Num(31.25)));
+        assert_eq!(
+            parsed.get("counters").and_then(|c| c.get("serve.requests")),
+            Some(&Json::Int(66))
+        );
+    }
+
+    #[test]
+    fn sim_lines_follow_the_wire_grammar() {
+        let line = sim_line(7, "Gcc", 1);
+        let j = Json::parse(&line).expect("valid JSON");
+        assert_eq!(j.get("method"), Some(&Json::Str("sim".to_owned())));
+        assert_eq!(j.get("id"), Some(&Json::Int(7)));
+        assert!(!line.contains('\n'), "one request = one line");
+    }
+}

@@ -8,7 +8,7 @@
 //!   measure-window sweep, both run through the cycle-level batch engine.
 
 use crate::configs::MulticoreDesign;
-use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::experiments::registry::{Ctx, ExperimentError, ExperimentReport, Section};
 use crate::experiments::RunScale;
 use crate::report::{pct, Json, Table};
 use m3d_uarch::{BatchStats, SimBatch, SimError, SimInterval, SimPoint};
@@ -225,7 +225,7 @@ pub fn ablations_text_from(
 }
 
 /// Registry entry point for the ablation studies.
-pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = std::time::Instant::now();
     let strategy = strategy_ablation();
     let t_strategy = t0.elapsed().as_secs_f64();
@@ -237,7 +237,7 @@ pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
     let t_tsv = t2.elapsed().as_secs_f64();
     let t3 = std::time::Instant::now();
     let (uarch, batch) =
-        uarch_ablation(ctx.scale(), ctx.jobs()).map_err(|e| e.to_string())?;
+        uarch_ablation(ctx.scale(), ctx.jobs())?;
     let t_uarch = t3.elapsed().as_secs_f64();
     let scale = ctx.scale();
     // Per app: two warm-ups actually run (paired group + unpaired) and

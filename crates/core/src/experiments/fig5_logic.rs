@@ -2,7 +2,7 @@
 //! adder's critical path, the slack distribution, the hetero-layer logic
 //! partition, and the ALU + bypass frequency/footprint gains.
 
-use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::experiments::registry::{Ctx, ExperimentError, ExperimentReport, Section};
 use crate::report::{pct, Json, Table};
 use m3d_logic::adder::carry_skip_adder;
 use m3d_logic::bypass::BypassStage;
@@ -92,7 +92,7 @@ pub fn fig5_text() -> String {
 }
 
 /// Registry entry point for Figure 5 / Section 3.1.
-pub fn report(_ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report(_ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = std::time::Instant::now();
     let r = fig5();
     Ok(ExperimentReport {

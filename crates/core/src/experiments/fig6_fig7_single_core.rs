@@ -6,7 +6,7 @@
 //! energy from the power model under each design's array/logic/clock scales.
 
 use crate::configs::DesignPoint;
-use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::experiments::registry::{Ctx, ExperimentError, ExperimentReport, Section};
 use crate::experiments::RunScale;
 use crate::planner::DesignSpace;
 use crate::report::{ratio, Json, Table};
@@ -179,13 +179,13 @@ pub fn fig7_text(study: &SingleCoreStudy) -> String {
 }
 
 /// Registry entry point for Figures 6 and 7 (one shared simulation run).
-pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = std::time::Instant::now();
     let space = ctx.space();
     let t_space = t0.elapsed().as_secs_f64();
     eprintln!("[repro] running single-core study (21 apps x 6 designs)...");
     let t1 = std::time::Instant::now();
-    let study = run_sharded(space, ctx.scale(), ctx.jobs()).map_err(|e| e.to_string())?;
+    let study = run_sharded(space, ctx.scale(), ctx.jobs())?;
     let t_sim = t1.elapsed().as_secs_f64();
     let scale = ctx.scale();
     let uops = (study.rows.len() * DesignPoint::ALL.len()) as u64

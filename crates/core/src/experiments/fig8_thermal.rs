@@ -15,7 +15,7 @@
 //! sweep count severalfold.
 
 use crate::configs::DesignPoint;
-use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::experiments::registry::{Ctx, ExperimentError, ExperimentReport, Section};
 use crate::experiments::{par_map_with, RunScale};
 use crate::planner::DesignSpace;
 use crate::report::{thermal_stats_text, Json, Table};
@@ -214,7 +214,7 @@ pub fn fig8_text(rows: &[ThermalRow]) -> String {
 }
 
 /// Registry entry point for Figure 8.
-pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = std::time::Instant::now();
     let space = ctx.space();
     let t_space = t0.elapsed().as_secs_f64();

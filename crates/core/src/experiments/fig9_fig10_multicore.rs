@@ -18,7 +18,7 @@
 
 use crate::configs::MulticoreDesign;
 use crate::experiments::fig8_thermal::DesignModels;
-use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::experiments::registry::{Ctx, ExperimentError, ExperimentReport, Section};
 use crate::experiments::{par_map_with, RunScale};
 use crate::planner::DesignSpace;
 use crate::report::{ratio, thermal_stats_text, Json, Table};
@@ -301,14 +301,13 @@ pub fn thermal_text(study: &MulticoreStudy) -> String {
 
 /// Registry entry point for Figures 9 and 10 plus the thermal check (one
 /// shared simulation run).
-pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = std::time::Instant::now();
     let space = ctx.space();
     let t_space = t0.elapsed().as_secs_f64();
     eprintln!("[repro] running multicore study (15 apps x 5 designs)...");
     let t1 = std::time::Instant::now();
-    let (study, stats) = run_sharded_with_stats(space, ctx.scale(), ctx.jobs())
-        .map_err(|e| e.to_string())?;
+    let (study, stats) = run_sharded_with_stats(space, ctx.scale(), ctx.jobs())?;
     let wall = t1.elapsed().as_secs_f64();
     let scale = ctx.scale();
     let cores_total: usize = MulticoreDesign::ALL.iter().map(|d| d.n_cores()).sum();

@@ -22,10 +22,97 @@ use crate::planner::DesignSpace;
 use crate::report::Json;
 use m3d_thermal::model::SolveStatsSummary;
 use m3d_thermal::solver::ThermalConfig;
+use m3d_uarch::SimError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Instant;
+
+/// Upper bound on the worker-lane count a [`Ctx`] accepts. The registry
+/// holds 16 experiments and the batch engine shards within one machine, so
+/// lane counts beyond this are a typo, not a machine.
+pub const MAX_JOBS: usize = 64;
+
+/// Why an experiment driver failed.
+///
+/// Every registry driver returns this typed error instead of a bare
+/// `String`, so downstream consumers (the `repro` stderr report, the JSON
+/// artifacts, the `m3d-serve` wire protocol) can switch on the failure
+/// class without string matching. The [`std::fmt::Display`] form of each
+/// variant is byte-identical to the string the pre-typed drivers produced,
+/// which keeps rendered `repro` stderr stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// An experiment input — a hand-built configuration, a simulation
+    /// point, a core count — was rejected by the simulator's validation.
+    Invalid(SimError),
+    /// A driver running in strict mode refused to report results because
+    /// measured intervals were truncated by the livelock cap.
+    CapExhausted {
+        /// Registry id of the affected experiment (or `"sim"` for ad-hoc
+        /// batch queries).
+        experiment: String,
+        /// Number of truncated simulation points.
+        points: u64,
+    },
+    /// The driver panicked; the payload message was captured by the
+    /// orchestrator's `catch_unwind`.
+    Panic(String),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Render exactly like the old stringly errors did: the inner
+            // message alone, no variant prefix.
+            ExperimentError::Invalid(e) => write!(f, "{e}"),
+            ExperimentError::Panic(msg) => write!(f, "{msg}"),
+            ExperimentError::CapExhausted { experiment, points } => write!(
+                f,
+                "{experiment}: {points} simulation point(s) hit the livelock \
+                 cap; refusing to report truncated intervals"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ExperimentError {
+    fn from(e: SimError) -> Self {
+        ExperimentError::Invalid(e)
+    }
+}
+
+/// Why a [`CtxBuilder`] rejected its configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtxError {
+    /// The requested worker-lane count is outside `1..=`[`MAX_JOBS`].
+    JobsOutOfRange {
+        /// The rejected value.
+        jobs: usize,
+    },
+}
+
+impl std::fmt::Display for CtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtxError::JobsOutOfRange { jobs } => write!(
+                f,
+                "jobs must be between 1 and {MAX_JOBS}, got {jobs}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CtxError {}
 
 /// Shared execution context handed to every experiment driver.
 ///
@@ -44,23 +131,86 @@ pub struct Ctx {
     space: OnceLock<DesignSpace>,
 }
 
-impl Ctx {
-    /// Create a context for one `repro` run (one batch worker lane).
-    pub fn new(scale: RunScale, quick: bool) -> Self {
-        Self {
-            scale,
-            quick,
-            jobs: 1,
+/// Builder for [`Ctx`], the only construction path that sets a worker-lane
+/// count.
+///
+/// Validation happens once at [`CtxBuilder::build`] — the `repro` CLI, the
+/// `serve` daemon, and tests all share the same `1..=`[`MAX_JOBS`] jobs
+/// check instead of each caller re-implementing it.
+///
+/// ```
+/// use m3d_core::experiments::registry::Ctx;
+/// use m3d_core::experiments::RunScale;
+/// let ctx = Ctx::builder()
+///     .scale(RunScale::quick())
+///     .quick(true)
+///     .jobs(4)
+///     .build()
+///     .expect("4 lanes are within range");
+/// assert_eq!(ctx.jobs(), 4);
+/// assert!(Ctx::builder().jobs(0).build().is_err());
+/// assert!(Ctx::builder().jobs(65).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtxBuilder {
+    scale: RunScale,
+    quick: bool,
+    jobs: usize,
+}
+
+impl CtxBuilder {
+    /// Simulation window sizes (defaults to [`RunScale::full`]).
+    pub fn scale(mut self, scale: RunScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Whether this is a `--quick` run (defaults to `false`).
+    pub fn quick(mut self, quick: bool) -> Self {
+        self.quick = quick;
+        self
+    }
+
+    /// Worker lanes the uarch batch engine may use inside a single
+    /// experiment (defaults to 1). Results are identical for every value in
+    /// `1..=`[`MAX_JOBS`]; only wall time changes.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Validate and build the context.
+    pub fn build(self) -> Result<Ctx, CtxError> {
+        if !(1..=MAX_JOBS).contains(&self.jobs) {
+            return Err(CtxError::JobsOutOfRange { jobs: self.jobs });
+        }
+        Ok(Ctx {
+            scale: self.scale,
+            quick: self.quick,
+            jobs: self.jobs,
             space: OnceLock::new(),
+        })
+    }
+}
+
+impl Ctx {
+    /// Start building a context (full scale, not quick, one worker lane).
+    pub fn builder() -> CtxBuilder {
+        CtxBuilder {
+            scale: RunScale::full(),
+            quick: false,
+            jobs: 1,
         }
     }
 
-    /// Set the worker-lane count the uarch batch engine may use inside a
-    /// single experiment (the `repro --jobs` value). Results are identical
-    /// for every value; only wall time changes.
-    pub fn with_jobs(mut self, jobs: usize) -> Self {
-        self.jobs = jobs.max(1);
-        self
+    /// Create a single-lane context: shorthand for
+    /// `Ctx::builder().scale(scale).quick(quick).build()`.
+    pub fn new(scale: RunScale, quick: bool) -> Self {
+        Ctx::builder()
+            .scale(scale)
+            .quick(quick)
+            .build()
+            .expect("one worker lane is always valid")
     }
 
     /// Worker lanes available to in-experiment batch simulation.
@@ -164,7 +314,24 @@ pub struct ExperimentSpec {
     /// The driver entry point. Typed failures (e.g. an invalid simulation
     /// point) return `Err` and are reported like caught panics, without
     /// tearing down the run.
-    pub run: fn(&Ctx) -> Result<ExperimentReport, String>,
+    pub run: fn(&Ctx) -> Result<ExperimentReport, ExperimentError>,
+}
+
+impl ExperimentSpec {
+    /// Declared dependencies as stable names: `"space"` when the driver
+    /// consumes the shared [`DesignSpace`], `"thermal"` when it runs the
+    /// thermal solver. The vocabulary is shared by `repro --list` and the
+    /// `m3d-serve` `list` method.
+    pub fn deps(&self) -> Vec<&'static str> {
+        let mut d = Vec::new();
+        if self.needs_space {
+            d.push("space");
+        }
+        if self.needs_thermal {
+            d.push("thermal");
+        }
+        d
+    }
 }
 
 /// All experiments, in the deterministic output order of `repro all`
@@ -316,9 +483,21 @@ pub static REGISTRY: &[ExperimentSpec] = &[
     },
 ];
 
-/// Look up a registry entry by its id.
+/// Look up a registry entry by its id or any of its CLI names.
+///
+/// The single lookup path shared by `repro`, the artifact tests, and the
+/// `m3d-serve` `experiment` method.
 pub fn find(name: &str) -> Option<&'static ExperimentSpec> {
-    REGISTRY.iter().find(|s| s.name == name)
+    REGISTRY
+        .iter()
+        .find(|s| s.name == name || s.cli_names.contains(&name))
+}
+
+/// Iterate over every registry entry as `(name, deps, weight)`, in registry
+/// order. `repro --list` and the `m3d-serve` `list` method render this one
+/// enumeration instead of owning private copies of the registry layout.
+pub fn entries() -> impl Iterator<Item = (&'static str, Vec<&'static str>, u32)> {
+    REGISTRY.iter().map(|s| (s.name, s.deps(), s.weight))
 }
 
 /// Resolve a `repro` experiment selection to registry entries, preserving
@@ -361,8 +540,9 @@ pub fn select(wanted: &[&str]) -> Result<Vec<&'static ExperimentSpec>, String> {
 pub struct Outcome {
     /// The registry entry that ran.
     pub spec: &'static ExperimentSpec,
-    /// The report, or the panic message if the driver panicked.
-    pub report: Result<ExperimentReport, String>,
+    /// The report, or the typed failure (a caught panic becomes
+    /// [`ExperimentError::Panic`]).
+    pub report: Result<ExperimentReport, ExperimentError>,
     /// Start offset from the beginning of the run, seconds.
     pub start_s: f64,
     /// Wall time of this experiment, seconds.
@@ -372,14 +552,14 @@ pub struct Outcome {
     pub metrics: Option<m3d_obs::MetricsSnapshot>,
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> ExperimentError {
+    ExperimentError::Panic(if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else {
         "experiment panicked".to_owned()
-    }
+    })
 }
 
 /// Run `selected` experiments on up to `jobs` worker threads.
@@ -515,7 +695,7 @@ mod tests {
         assert!(select(&["nope"]).is_err());
     }
 
-    fn ok_spec(ctx: &Ctx) -> Result<ExperimentReport, String> {
+    fn ok_spec(ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
         let _ = ctx.quick();
         Ok(ExperimentReport {
             sections: vec![Section::always("ok".to_owned())],
@@ -524,7 +704,7 @@ mod tests {
         })
     }
 
-    fn panicking_spec(_ctx: &Ctx) -> Result<ExperimentReport, String> {
+    fn panicking_spec(_ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
         panic!("boom");
     }
 
@@ -560,7 +740,8 @@ mod tests {
         assert_eq!(seen, vec!["a", "b"]);
         assert!(outcomes[0].report.is_ok());
         let err = outcomes[1].report.as_ref().expect_err("panicked");
-        assert!(err.contains("boom"), "{err}");
+        assert!(matches!(err, ExperimentError::Panic(_)), "{err}");
+        assert!(err.to_string().contains("boom"), "{err}");
         assert!(outcomes.iter().all(|o| o.wall_s >= 0.0));
     }
 

@@ -9,7 +9,7 @@
 //!    further — the paper reports ~9 percentage points over M3D-Het.
 
 use crate::experiments::fig8_thermal::DesignModels;
-use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::experiments::registry::{Ctx, ExperimentError, ExperimentReport, Section};
 use crate::report::{Json, Table};
 use m3d_sram::hetero::partition_hetero_with;
 use m3d_thermal::model::SolveStatsSummary;
@@ -283,7 +283,7 @@ pub fn headroom_text_from(rows: &[HeadroomRow], stats: &SolveStatsSummary) -> St
 }
 
 /// Registry entry point for the Section 5 / 7.1.2 studies.
-pub fn report(_ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report(_ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = std::time::Instant::now();
     let enlarged = enlarged_structures();
     let t_enlarged = t0.elapsed().as_secs_f64();

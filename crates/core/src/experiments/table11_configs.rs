@@ -2,7 +2,7 @@
 //! frequencies and the frequencies our own model derives (Section 6.1).
 
 use crate::configs::{DesignPoint, MulticoreDesign};
-use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::experiments::registry::{Ctx, ExperimentError, ExperimentReport, Section};
 use crate::planner::{feasibility_text, DesignSpace};
 use crate::report::{thermal_stats_text, Json, Table};
 
@@ -47,7 +47,7 @@ pub fn table11_text(space: &DesignSpace) -> String {
 }
 
 /// Registry entry point for Table 11 plus the thermal-feasibility check.
-pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = std::time::Instant::now();
     let space = ctx.space();
     let t_space = t0.elapsed().as_secs_f64();

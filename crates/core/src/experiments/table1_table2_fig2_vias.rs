@@ -1,7 +1,7 @@
 //! Table 1 (via area overhead), Table 2 (via electrical characteristics),
 //! and Figure 2 (relative areas) — the technology-level comparisons.
 
-use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::experiments::registry::{Ctx, ExperimentError, ExperimentReport, Section};
 use crate::report::{Json, Table};
 use m3d_tech::node::TechnologyNode;
 use m3d_tech::refcells::{relative_to_inverter, via_overhead_pct, RefCell};
@@ -55,7 +55,7 @@ pub fn table1_text() -> String {
 }
 
 /// Registry entry point for Table 1.
-pub fn report_table1(_ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report_table1(_ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = Instant::now();
     let rows = table1();
     Ok(ExperimentReport {
@@ -111,7 +111,7 @@ pub fn table2_text() -> String {
 }
 
 /// Registry entry point for Table 2.
-pub fn report_table2(_ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report_table2(_ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = Instant::now();
     let rows = table2();
     Ok(ExperimentReport {
@@ -176,7 +176,7 @@ pub fn fig2_text() -> String {
 }
 
 /// Registry entry point for Figure 2.
-pub fn report_fig2(_ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report_fig2(_ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = Instant::now();
     let bars = fig2();
     Ok(ExperimentReport {

@@ -1,7 +1,7 @@
 //! Tables 3, 4, and 5: bit / word / port partitioning of the register file
 //! and branch prediction table, for M3D and TSV3D.
 
-use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::experiments::registry::{Ctx, ExperimentError, ExperimentReport, Section};
 use crate::report::{pct, reduction_json, Json, Table};
 use m3d_sram::metrics::Reduction;
 use m3d_sram::model2d::analyze_2d;
@@ -149,7 +149,7 @@ fn report_for(strategy: Strategy, rows: Vec<PartitionRow>, text: String, wall_s:
 }
 
 /// Registry entry point for Table 3.
-pub fn report_table3(_ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report_table3(_ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = std::time::Instant::now();
     let rows = table3();
     let text = table3_text_from(&rows);
@@ -157,7 +157,7 @@ pub fn report_table3(_ctx: &Ctx) -> Result<ExperimentReport, String> {
 }
 
 /// Registry entry point for Table 4.
-pub fn report_table4(_ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report_table4(_ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = std::time::Instant::now();
     let rows = table4();
     let text = table4_text_from(&rows);
@@ -165,7 +165,7 @@ pub fn report_table4(_ctx: &Ctx) -> Result<ExperimentReport, String> {
 }
 
 /// Registry entry point for Table 5.
-pub fn report_table5(_ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report_table5(_ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = std::time::Instant::now();
     let rows = table5();
     let text = table5_text_from(&rows);

@@ -1,7 +1,7 @@
 //! Table 6: best iso-layer partition method for each structure, with the
 //! reductions in latency, energy, and footprint for M3D and TSV3D.
 
-use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::experiments::registry::{Ctx, ExperimentError, ExperimentReport, Section};
 use crate::planner::DesignSpace;
 use crate::report::{pct, Json, Table};
 
@@ -38,7 +38,7 @@ pub fn table6_text(space: &DesignSpace) -> String {
 }
 
 /// Registry entry point for Table 6.
-pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = std::time::Instant::now();
     let space = ctx.space();
     let t_space = t0.elapsed().as_secs_f64();

@@ -2,7 +2,7 @@
 //! verified against the behaviour of the implemented planner and logic
 //! partitioner.
 
-use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::experiments::registry::{Ctx, ExperimentError, ExperimentReport, Section};
 use crate::report::{Json, Table};
 
 /// One row of Table 7.
@@ -49,7 +49,7 @@ pub fn table7_text() -> String {
 }
 
 /// Registry entry point for Table 7.
-pub fn report(_ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report(_ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = std::time::Instant::now();
     Ok(ExperimentReport {
         sections: vec![Section::always(table7_text())],

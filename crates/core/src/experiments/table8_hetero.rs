@@ -1,7 +1,7 @@
 //! Table 8: reductions with the best hetero-layer partitioning (slow top
 //! layer) compared to a 2D layout.
 
-use crate::experiments::registry::{Ctx, ExperimentReport, Section};
+use crate::experiments::registry::{Ctx, ExperimentError, ExperimentReport, Section};
 use crate::planner::DesignSpace;
 use crate::report::{pct, Json, Table};
 
@@ -28,7 +28,7 @@ pub fn table8_text(space: &DesignSpace) -> String {
 }
 
 /// Registry entry point for Table 8.
-pub fn report(ctx: &Ctx) -> Result<ExperimentReport, String> {
+pub fn report(ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
     let t0 = std::time::Instant::now();
     let space = ctx.space();
     let t_space = t0.elapsed().as_secs_f64();

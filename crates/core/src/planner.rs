@@ -106,6 +106,37 @@ pub struct DesignSpace {
 }
 
 impl DesignSpace {
+    /// JSON form of the whole planned space (the `m3d-serve` `planner`
+    /// method and anything else that wants the planner's output without
+    /// re-rendering the paper tables).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("node_nm", Json::from(self.node.feature_nm)),
+            (
+                "iso_best",
+                Json::arr(self.iso_best.iter().map(PlannedStructure::to_json)),
+            ),
+            (
+                "tsv_best",
+                Json::arr(self.tsv_best.iter().map(PlannedStructure::to_json)),
+            ),
+            (
+                "het_best",
+                Json::arr(self.het_best.iter().map(PlannedHetero::to_json)),
+            ),
+            (
+                "derived_ghz",
+                Json::obj([
+                    ("iso", Json::from(self.derived.iso_ghz)),
+                    ("iso_agg", Json::from(self.derived.iso_agg_ghz)),
+                    ("het_naive", Json::from(self.derived.het_naive_ghz)),
+                    ("het", Json::from(self.derived.het_ghz)),
+                    ("het_agg", Json::from(self.derived.het_agg_ghz)),
+                ]),
+            ),
+        ])
+    }
+
     /// Run the planner over all twelve structures. Takes a second or two
     /// (it evaluates every strategy and the hetero search spaces).
     pub fn compute() -> Self {

@@ -111,6 +111,50 @@ impl Json {
         out
     }
 
+    /// Render as a single line with no whitespace and no trailing newline.
+    ///
+    /// This is the wire form used by the `m3d-serve` newline-delimited
+    /// protocol: a rendered value never contains a raw `\n` (strings escape
+    /// control characters), so one message is exactly one line.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(v) if v.is_finite() => out.push_str(&v.to_string()),
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => Self::write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Self::write_escaped(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),

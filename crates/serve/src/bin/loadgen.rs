@@ -1,0 +1,232 @@
+//! `loadgen` — closed-loop load generator for the `serve` daemon.
+//!
+//! # Usage
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--conns N] [--requests N] [--seeds N]
+//!         [--warmup N] [--measure N] [--smoke]
+//! ```
+//!
+//! Opens `--conns` connections; each sends `--requests` single-point `sim`
+//! queries back-to-back (closed loop: the next request leaves only after
+//! the previous response lands). Points are drawn by the vendored `rand`
+//! xoshiro generator from a small (app × design × seed) pool, so the
+//! server's memo cache warms quickly — which is the point: the probe
+//! measures warm-path throughput. Prints a single-line JSON summary to
+//! stdout:
+//!
+//! ```text
+//! {"conns":4,"requests":200,"errors":0,"wall_s":...,"rps":...,
+//!  "p50_us":...,"p95_us":...,"p99_us":...,"max_us":...}
+//! ```
+//!
+//! `--smoke` sends one `planner`, one `sim` and one `stats` query on one
+//! connection and exits non-zero unless all three answer `"ok":true` — a
+//! cheap CI health check.
+
+use m3d_core::report::Json;
+use m3d_serve::client::Client;
+use m3d_serve::protocol::Method;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const APPS: [&str; 6] = ["Gcc", "Mcf", "Bzip2", "Hmmer", "Sjeng", "Lbm"];
+const DESIGNS: [&str; 3] = ["Base", "M3D-Het", "M3D-HetAgg"];
+
+struct Args {
+    addr: String,
+    conns: usize,
+    requests: usize,
+    seeds: u64,
+    warmup: u64,
+    measure: u64,
+    smoke: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        conns: 4,
+        requests: 50,
+        seeds: 4,
+        warmup: 3_000,
+        measure: 2_000,
+        smoke: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut flag_value = |name: &str| -> Result<Option<String>, String> {
+            if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+                return Ok(Some(v.to_owned()));
+            }
+            if a == name {
+                return match it.next() {
+                    Some(v) => Ok(Some(v.clone())),
+                    None => Err(format!("{name} requires a value")),
+                };
+            }
+            Ok(None)
+        };
+        let parse_n = |v: String, name: &str| {
+            v.parse::<u64>()
+                .map_err(|_| format!("{name} needs an integer, got `{v}`"))
+        };
+        if a == "--smoke" {
+            args.smoke = true;
+        } else if let Some(v) = flag_value("--addr")? {
+            args.addr = v;
+        } else if let Some(v) = flag_value("--conns")? {
+            args.conns = parse_n(v, "--conns")?.max(1) as usize;
+        } else if let Some(v) = flag_value("--requests")? {
+            args.requests = parse_n(v, "--requests")? as usize;
+        } else if let Some(v) = flag_value("--seeds")? {
+            args.seeds = parse_n(v, "--seeds")?.max(1);
+        } else if let Some(v) = flag_value("--warmup")? {
+            args.warmup = parse_n(v, "--warmup")?;
+        } else if let Some(v) = flag_value("--measure")? {
+            args.measure = parse_n(v, "--measure")?.max(1);
+        } else {
+            return Err(format!("unknown flag `{a}`"));
+        }
+    }
+    if args.addr.is_empty() {
+        return Err("--addr is required".to_owned());
+    }
+    Ok(args)
+}
+
+fn sim_params(rng: &mut StdRng, args: &Args) -> Json {
+    Json::obj([
+        ("app", Json::from(APPS[rng.gen_range(0..APPS.len())])),
+        ("design", Json::from(DESIGNS[rng.gen_range(0..DESIGNS.len())])),
+        ("seed", Json::from(rng.gen_range(0..args.seeds))),
+        ("warmup", Json::from(args.warmup)),
+        ("measure", Json::from(args.measure)),
+    ])
+}
+
+fn is_ok(reply: &Json) -> bool {
+    matches!(reply.get("ok"), Some(Json::Bool(true)))
+}
+
+fn smoke(args: &Args) -> i32 {
+    let mut client = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("[loadgen] connect {}: {e}", args.addr);
+            return 1;
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(0x10AD);
+    let queries = [
+        (1, Method::Planner, Json::Obj(Vec::new())),
+        (2, Method::Sim, sim_params(&mut rng, args)),
+        (3, Method::Stats, Json::Obj(Vec::new())),
+    ];
+    for (id, method, params) in queries {
+        match client.request(id, method, params, None) {
+            Ok(reply) if is_ok(&reply) => {
+                eprintln!("[loadgen] {} ok", method.name());
+            }
+            Ok(reply) => {
+                eprintln!(
+                    "[loadgen] {} failed: {}",
+                    method.name(),
+                    reply.render_compact()
+                );
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("[loadgen] {} io error: {e}", method.name());
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("[loadgen] {e}");
+            eprintln!(
+                "usage: loadgen --addr HOST:PORT [--conns N] [--requests N] \
+                 [--seeds N] [--warmup N] [--measure N] [--smoke]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if args.smoke {
+        std::process::exit(smoke(&args));
+    }
+    let t0 = Instant::now();
+    let mut lat_us: Vec<f64> = Vec::new();
+    let mut errors = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for conn in 0..args.conns {
+            let args = &args;
+            handles.push(scope.spawn(move || {
+                let mut lat = Vec::with_capacity(args.requests);
+                let mut errs = 0u64;
+                let mut client = match Client::connect(&args.addr) {
+                    Ok(c) => c,
+                    Err(_) => return (lat, args.requests as u64),
+                };
+                let mut rng = StdRng::seed_from_u64(0x10AD_0000 + conn as u64);
+                for k in 0..args.requests {
+                    let t = Instant::now();
+                    match client.request(k as i64, Method::Sim, sim_params(&mut rng, args), None)
+                    {
+                        Ok(reply) if is_ok(&reply) => {
+                            lat.push(t.elapsed().as_secs_f64() * 1e6);
+                        }
+                        _ => errs += 1,
+                    }
+                }
+                (lat, errs)
+            }));
+        }
+        for h in handles {
+            let (lat, errs) = h.join().expect("loadgen connection thread");
+            lat_us.extend(lat);
+            errors += errs;
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let done = lat_us.len() as u64;
+    let summary = Json::obj([
+        ("conns", Json::from(args.conns)),
+        ("requests", Json::from(done)),
+        ("errors", Json::from(errors)),
+        ("wall_s", Json::from(wall_s)),
+        (
+            "rps",
+            Json::from(if wall_s > 0.0 {
+                done as f64 / wall_s
+            } else {
+                0.0
+            }),
+        ),
+        ("p50_us", Json::from(percentile(&lat_us, 0.50))),
+        ("p95_us", Json::from(percentile(&lat_us, 0.95))),
+        ("p99_us", Json::from(percentile(&lat_us, 0.99))),
+        ("max_us", Json::from(lat_us.last().copied().unwrap_or(0.0))),
+    ]);
+    println!("{}", summary.render_compact());
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

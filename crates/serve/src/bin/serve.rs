@@ -1,0 +1,155 @@
+//! `serve` — the batched design-space query daemon.
+//!
+//! # Usage
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--port-file PATH] [--quick] [--jobs N]
+//!       [--queue-cap N] [--workers N] [--oneshot]
+//! ```
+//!
+//! Binds (default `127.0.0.1:0`, an ephemeral port), prints
+//! `[serve] listening on HOST:PORT` to stderr, and answers
+//! newline-delimited JSON requests (`sim`, `experiment`, `planner`,
+//! `stats` — see the `m3d_serve::protocol` rustdoc for the grammar) until
+//! SIGTERM or ctrl-c, then drains in-flight work and exits 0.
+//!
+//! # Flags
+//!
+//! * `--addr HOST:PORT` — bind address (port 0 = ephemeral).
+//! * `--port-file PATH` — write the actual bound `HOST:PORT` to `PATH`
+//!   once listening; lets scripts using an ephemeral port find it.
+//! * `--quick` — quick registry scale for `experiment` queries.
+//! * `--jobs N` — batch-engine lanes and experiment pool size (1..=64).
+//! * `--queue-cap N` — admission-queue bound (default 64); a full queue
+//!   rejects with a structured `overloaded` error.
+//! * `--workers N` — queue-draining worker threads (default 2).
+//! * `--oneshot` — no TCP at all: read request lines from stdin, write
+//!   response lines to stdout, exit at EOF. One process per query is the
+//!   honest "cold" baseline the `perf_baseline` serve probe compares the
+//!   warm daemon against.
+
+use m3d_serve::server::{install_signal_handlers, Server, ServerConfig};
+use m3d_serve::Engine;
+use std::io::{BufRead, Write};
+
+struct Args {
+    cfg: ServerConfig,
+    port_file: Option<String>,
+    oneshot: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        cfg: ServerConfig::default(),
+        port_file: None,
+        oneshot: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut flag_value = |name: &str| -> Result<Option<String>, String> {
+            if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+                return Ok(Some(v.to_owned()));
+            }
+            if a == name {
+                return match it.next() {
+                    Some(v) => Ok(Some(v.clone())),
+                    None => Err(format!("{name} requires a value")),
+                };
+            }
+            Ok(None)
+        };
+        if a == "--quick" {
+            args.cfg.quick = true;
+        } else if a == "--oneshot" {
+            args.oneshot = true;
+        } else if let Some(v) = flag_value("--addr")? {
+            args.cfg.addr = v;
+        } else if let Some(v) = flag_value("--port-file")? {
+            args.port_file = Some(v);
+        } else if let Some(v) = flag_value("--jobs")? {
+            args.cfg.jobs = v
+                .parse::<usize>()
+                .map_err(|_| format!("--jobs needs an integer, got `{v}`"))?;
+        } else if let Some(v) = flag_value("--queue-cap")? {
+            args.cfg.queue_cap = v
+                .parse::<usize>()
+                .map_err(|_| format!("--queue-cap needs an integer, got `{v}`"))?;
+        } else if let Some(v) = flag_value("--workers")? {
+            args.cfg.workers = v
+                .parse::<usize>()
+                .map_err(|_| format!("--workers needs an integer, got `{v}`"))?;
+        } else {
+            return Err(format!("unknown flag `{a}`"));
+        }
+    }
+    Ok(args)
+}
+
+fn oneshot(quick: bool, jobs: usize) -> i32 {
+    let engine = match Engine::new(quick, jobs) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("[serve] {e}");
+            return 2;
+        }
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = engine.answer_line(&line);
+        if writeln!(out, "{reply}").and_then(|()| out.flush()).is_err() {
+            break;
+        }
+    }
+    0
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("[serve] {e}");
+            eprintln!(
+                "usage: serve [--addr HOST:PORT] [--port-file PATH] [--quick] \
+                 [--jobs N] [--queue-cap N] [--workers N] [--oneshot]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if args.oneshot {
+        std::process::exit(oneshot(args.cfg.quick, args.cfg.jobs));
+    }
+    install_signal_handlers();
+    let server = match Server::bind(args.cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[serve] bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("[serve] no local address: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = &args.port_file {
+        if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+            eprintln!("[serve] cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("[serve] listening on {addr}");
+    server.run();
+    eprintln!("[serve] drained, bye");
+}

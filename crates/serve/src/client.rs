@@ -1,0 +1,85 @@
+//! A minimal blocking client for the NDJSON protocol, shared by `loadgen`
+//! and the wire tests. One request out, one line back; pipelining is left
+//! to callers that manage ids themselves.
+
+use crate::protocol::{request_line, Method};
+use m3d_core::report::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:4500`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one raw line and read one raw response line (without the
+    /// trailing newline).
+    pub fn call_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    /// Read one response line (for callers that pipelined several
+    /// requests before reading).
+    pub fn read_line(&mut self) -> std::io::Result<String> {
+        let mut out = String::new();
+        let n = self.reader.read_line(&mut out)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while out.ends_with('\n') || out.ends_with('\r') {
+            out.pop();
+        }
+        Ok(out)
+    }
+
+    /// Send one request without waiting for the response (pipelining).
+    pub fn send(
+        &mut self,
+        id: i64,
+        method: Method,
+        params: Json,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<()> {
+        let line = request_line(id, method, params, deadline_ms);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Send one request and parse the response line as JSON.
+    pub fn request(
+        &mut self,
+        id: i64,
+        method: Method,
+        params: Json,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<Json> {
+        self.send(id, method, params, deadline_ms)?;
+        let line = self.read_line()?;
+        Json::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparsable response `{line}`: {e}"),
+            )
+        })
+    }
+}

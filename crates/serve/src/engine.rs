@@ -1,0 +1,342 @@
+//! The query engine: answers parsed requests against the warm process
+//! state. Shared verbatim by the server's worker pool, the `--oneshot`
+//! mode of the `serve` binary, and the wire tests — which is what makes
+//! "concurrent answers equal serial answers byte-for-byte" checkable: both
+//! paths run the same code over the same point list.
+
+use crate::protocol::{
+    ok_line, parse_request, ErrorKind, Method, Request, WireError, MAX_INTERVAL_UOPS, MAX_POINTS,
+};
+use m3d_core::configs::{DesignPoint, MulticoreDesign};
+use m3d_core::experiments::registry::{
+    find, run_experiments, Ctx, CtxError, ExperimentError,
+};
+use m3d_core::experiments::RunScale;
+use m3d_core::report::{metrics_json, Json};
+use m3d_uarch::batch::{result_cache_len, SimBatch, SimInterval, SimPoint};
+use m3d_uarch::SimError;
+use m3d_workloads::parallel::parallel_by_name;
+use m3d_workloads::spec::spec_by_name;
+use std::time::Instant;
+
+/// Every counter the server maintains. [`Engine::stats`] reports each of
+/// them unconditionally (zeros included), so monitoring clients can tell
+/// "never happened" apart from "not a counter".
+pub const SERVE_COUNTERS: [&str; 5] = [
+    "serve.requests",
+    "serve.coalesced",
+    "serve.rejected",
+    "serve.deadline_expired",
+    "serve.errors",
+];
+
+/// A parsed `sim` request: the point list plus the strictness flag.
+#[derive(Debug, Clone)]
+pub struct SimRequest {
+    /// Points to evaluate, in request order.
+    pub points: Vec<SimPoint>,
+    /// Fail with `cap_exhausted` if any point hits the livelock cap.
+    pub strict: bool,
+}
+
+/// Parse `sim` params (a single point object or `{"points": [...]}`).
+pub fn parse_sim_params(params: &Json) -> Result<SimRequest, WireError> {
+    let strict = match params.get("strict") {
+        None | Some(Json::Null) => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err(WireError::bad_request("`strict` must be a boolean")),
+    };
+    let points: Vec<SimPoint> = match params.get("points") {
+        Some(Json::Arr(items)) => {
+            if items.is_empty() || items.len() > MAX_POINTS {
+                return Err(WireError::bad_request(format!(
+                    "`points` must hold 1..={MAX_POINTS} entries, got {}",
+                    items.len()
+                )));
+            }
+            items.iter().map(parse_sim_point).collect::<Result<_, _>>()?
+        }
+        Some(_) => return Err(WireError::bad_request("`points` must be an array")),
+        None => vec![parse_sim_point(params)?],
+    };
+    Ok(SimRequest { points, strict })
+}
+
+fn get_u64(obj: &Json, key: &str) -> Result<Option<u64>, WireError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Int(i)) if *i >= 0 => Ok(Some(*i as u64)),
+        Some(_) => Err(WireError::bad_request(format!(
+            "`{key}` must be a non-negative integer"
+        ))),
+    }
+}
+
+fn parse_sim_point(p: &Json) -> Result<SimPoint, WireError> {
+    let app = match p.get("app") {
+        Some(Json::Str(s)) => s.as_str(),
+        _ => return Err(WireError::bad_request("each point needs a string `app`")),
+    };
+    let design = match p.get("design") {
+        None | Some(Json::Null) => "Base",
+        Some(Json::Str(s)) => s.as_str(),
+        Some(_) => return Err(WireError::bad_request("`design` must be a string")),
+    };
+    let n_cores = get_u64(p, "n_cores")?.unwrap_or(1) as usize;
+    if n_cores == 0 {
+        return Err(WireError::bad_request("`n_cores` must be at least 1"));
+    }
+    let seed = get_u64(p, "seed")?.unwrap_or(0);
+    let warmup = get_u64(p, "warmup")?.unwrap_or(0);
+    let measure = match get_u64(p, "measure")? {
+        Some(m) if m > 0 => m,
+        _ => {
+            return Err(WireError::bad_request(
+                "each point needs a positive `measure` window",
+            ));
+        }
+    };
+    if warmup + measure > MAX_INTERVAL_UOPS {
+        return Err(WireError::bad_request(format!(
+            "warmup + measure exceeds the {MAX_INTERVAL_UOPS} µop per-point cap"
+        )));
+    }
+    let (profile, mut config) = if n_cores == 1 {
+        let profile = spec_by_name(app).ok_or_else(|| {
+            WireError::bad_request(format!("unknown single-core app `{app}`"))
+        })?;
+        let dp = DesignPoint::ALL
+            .iter()
+            .find(|d| d.label() == design)
+            .ok_or_else(|| {
+                WireError::bad_request(format!("unknown single-core design `{design}`"))
+            })?;
+        (profile, dp.core_config())
+    } else {
+        let profile = parallel_by_name(app).ok_or_else(|| {
+            WireError::bad_request(format!("unknown parallel app `{app}`"))
+        })?;
+        let md = MulticoreDesign::ALL
+            .iter()
+            .find(|d| d.label() == design)
+            .ok_or_else(|| {
+                WireError::bad_request(format!("unknown multicore design `{design}`"))
+            })?;
+        (profile, md.core_config())
+    };
+    match p.get("freq_ghz") {
+        None | Some(Json::Null) => {}
+        Some(Json::Num(f)) => config = config.with_frequency(*f),
+        Some(Json::Int(i)) => config = config.with_frequency(*i as f64),
+        Some(_) => return Err(WireError::bad_request("`freq_ghz` must be a number")),
+    }
+    Ok(SimPoint {
+        config,
+        profile,
+        seed,
+        n_cores,
+        interval: SimInterval { warmup, measure },
+    })
+}
+
+/// The engine: process-wide warm state plus the handlers for every method.
+pub struct Engine {
+    ctx: Ctx,
+    start: Instant,
+}
+
+impl Engine {
+    /// Build an engine. `quick` selects the registry's quick scale for
+    /// `experiment` queries; `jobs` sizes both the batch-engine lanes and
+    /// the experiment worker pool (validated like everywhere else, via
+    /// [`Ctx::builder`]). Enables `m3d-obs` collection — a server without
+    /// its `stats` method would be flying blind.
+    pub fn new(quick: bool, jobs: usize) -> Result<Engine, CtxError> {
+        let scale = if quick {
+            RunScale::quick()
+        } else {
+            RunScale::full()
+        };
+        let ctx = Ctx::builder().scale(scale).quick(quick).jobs(jobs).build()?;
+        m3d_obs::enable();
+        for c in SERVE_COUNTERS {
+            m3d_obs::add(c, 0);
+        }
+        Ok(Engine {
+            ctx,
+            start: Instant::now(),
+        })
+    }
+
+    /// The context (scale, quickness, worker lanes) this engine runs with.
+    pub fn ctx(&self) -> &Ctx {
+        &self.ctx
+    }
+
+    /// Answer a group of `sim` requests with **one** batch submission:
+    /// their point lists are concatenated, so requests sharing a warm key
+    /// share a warm-up checkpoint, then the results are split back per
+    /// request. Each response is a pure function of its own request's
+    /// point list (results are per-point; no batch-wide statistics leak
+    /// in), which keeps coalesced answers byte-identical to serial ones.
+    pub fn sim_group(
+        &self,
+        reqs: &[&SimRequest],
+        deadline: Option<Instant>,
+    ) -> Vec<Result<Json, WireError>> {
+        let all: Vec<SimPoint> = reqs.iter().flat_map(|r| r.points.iter().cloned()).collect();
+        let mut batch = SimBatch::new(self.ctx.jobs());
+        if let Some(d) = deadline {
+            batch = batch.with_deadline(d);
+        }
+        let results = batch.run(&all);
+        let mut offset = 0;
+        reqs.iter()
+            .map(|req| {
+                let slice = &results[offset..offset + req.points.len()];
+                offset += req.points.len();
+                sim_response(slice, req.strict)
+            })
+            .collect()
+    }
+
+    /// Run one registry experiment by name and return its schema-v2 JSON.
+    pub fn experiment(&self, params: &Json) -> Result<Json, WireError> {
+        let name = match params.get("name") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => return Err(WireError::bad_request("`name` must be a string")),
+        };
+        let Some(spec) = find(name) else {
+            return Err(WireError::bad_request(format!(
+                "unknown experiment `{name}` (try `repro --list`)"
+            )));
+        };
+        let outcomes = run_experiments(&self.ctx, &[spec], self.ctx.jobs(), |_| {});
+        let outcome = &outcomes[0];
+        match &outcome.report {
+            Ok(_) => Ok(m3d_bench::artifacts::experiment_json(outcome)),
+            Err(e) => Err(WireError::from(e)),
+        }
+    }
+
+    /// The planned design space as JSON (computing it on first use; the
+    /// `OnceLock` in [`Ctx`] memoizes it for the process lifetime).
+    pub fn planner(&self) -> Json {
+        self.ctx.space().to_json()
+    }
+
+    /// A live metrics snapshot plus server-level gauges. The snapshot
+    /// omits zero counters by design, but a monitoring client should see
+    /// every `serve.*` counter unconditionally (a missing counter is
+    /// indistinguishable from a misspelled one), so the serve set is
+    /// re-inserted with explicit zeros.
+    pub fn stats(&self) -> Json {
+        let mut snap = m3d_obs::snapshot();
+        for name in SERVE_COUNTERS {
+            if let Err(i) = snap.counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                snap.counters.insert(i, ((*name).to_owned(), 0));
+            }
+        }
+        Json::obj([
+            ("uptime_s", Json::from(self.start.elapsed().as_secs_f64())),
+            ("memo_cache_len", Json::from(result_cache_len())),
+            ("metrics", metrics_json(&snap)),
+        ])
+    }
+
+    /// Answer one already-parsed request (the serial path: no queue, no
+    /// coalescing). Deadlines still apply.
+    pub fn answer_request(&self, req: &Request) -> Result<Json, WireError> {
+        let deadline = req
+            .deadline_ms
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+        match req.method {
+            Method::Sim => {
+                let sim = parse_sim_params(&req.params)?;
+                self.sim_group(&[&sim], deadline)
+                    .pop()
+                    .expect("one request in, one response out")
+            }
+            Method::Experiment => {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Err(WireError::new(
+                        ErrorKind::Deadline,
+                        "deadline expired before the experiment started",
+                    ));
+                }
+                self.experiment(&req.params)
+            }
+            Method::Planner => Ok(self.planner()),
+            Method::Stats => Ok(self.stats()),
+        }
+    }
+
+    /// Answer one raw request line with one response line (no trailing
+    /// newline). This is the whole `--oneshot` mode, and the reference the
+    /// concurrency tests compare server output against.
+    pub fn answer_line(&self, line: &str) -> String {
+        let started = Instant::now();
+        let req = match parse_request(line) {
+            Ok(r) => r,
+            Err((id, e)) => {
+                m3d_obs::add("serve.errors", 1);
+                return crate::protocol::err_line(id, &e);
+            }
+        };
+        m3d_obs::add("serve.requests", 1);
+        let _span = m3d_obs::span("serve", req.method.name());
+        let out = match self.answer_request(&req) {
+            Ok(result) => ok_line(req.id, result),
+            Err(e) => {
+                m3d_obs::add("serve.errors", 1);
+                crate::protocol::err_line(Some(req.id), &e)
+            }
+        };
+        m3d_obs::record("serve.latency_us", started.elapsed().as_secs_f64() * 1e6);
+        out
+    }
+}
+
+/// Render one `sim` request's results. Fails as a whole (never partially)
+/// so a response is either every point's result or one structured error:
+/// retrying a failed request cannot double-apply anything.
+fn sim_response(
+    results: &[Result<m3d_uarch::stats::PerfResult, SimError>],
+    strict: bool,
+) -> Result<Json, WireError> {
+    let mut rows = Vec::with_capacity(results.len());
+    let mut capped = 0u64;
+    for r in results {
+        match r {
+            Ok(p) => {
+                if p.cap_exhausted {
+                    capped += 1;
+                }
+                rows.push(Json::obj([
+                    ("cycles", Json::from(p.cycles)),
+                    ("instructions", Json::from(p.instructions)),
+                    ("ipc", Json::from(p.ipc())),
+                    ("freq_ghz", Json::from(p.freq_ghz)),
+                    ("time_s", Json::from(p.time_s())),
+                    ("cap_exhausted", Json::from(p.cap_exhausted)),
+                ]));
+            }
+            Err(SimError::DeadlineExceeded) => {
+                return Err(WireError::new(
+                    ErrorKind::Deadline,
+                    SimError::DeadlineExceeded.to_string(),
+                ));
+            }
+            Err(e) => {
+                return Err(WireError::from(&ExperimentError::Invalid(e.clone())));
+            }
+        }
+    }
+    if strict && capped > 0 {
+        return Err(WireError::from(&ExperimentError::CapExhausted {
+            experiment: "sim".to_owned(),
+            points: capped,
+        }));
+    }
+    Ok(Json::obj([("results", Json::Arr(rows))]))
+}

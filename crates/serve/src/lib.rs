@@ -1,0 +1,54 @@
+//! Batched design-space query service.
+//!
+//! This crate puts a long-running daemon on top of the reproduction: a TCP
+//! server speaking newline-delimited JSON (one request per line, one
+//! response per line, correlated by `id`) that answers design-space
+//! queries against an always-warm process — the `m3d-uarch` batch engine's
+//! memo cache and checkpoint groups, the `OnceLock`'d planner
+//! [`DesignSpace`](m3d_core::planner::DesignSpace), and the experiment
+//! registry — instead of paying a full `repro` process launch per query.
+//!
+//! # Methods
+//!
+//! | method       | answers                                                  |
+//! |--------------|----------------------------------------------------------|
+//! | `sim`        | a point or point list through [`SimBatch`] (memo cache + |
+//! |              | shared warm-up checkpoints)                              |
+//! | `experiment` | any registry entry by name, as its schema-v2 JSON        |
+//! | `planner`    | the planned design space (Table 6/8 structures,          |
+//! |              | derived frequencies)                                     |
+//! | `stats`      | a live `m3d-obs` metrics snapshot + memo-cache size      |
+//!
+//! # Production shape
+//!
+//! * **Backpressure** — heavy work (`sim`, `experiment`) passes through a
+//!   bounded admission queue; a full queue rejects with a structured
+//!   `overloaded` error instead of buffering unboundedly.
+//! * **Deadlines** — a request may carry `deadline_ms`; work that cannot
+//!   start (or, for `sim`, whose warm-up groups cannot start) before the
+//!   deadline is cancelled cleanly with a `deadline` error.
+//! * **Micro-batching** — a worker draining the queue coalesces every
+//!   queued deadline-free `sim` request into one [`SimBatch`] submission,
+//!   so concurrent requests sharing a warm key share one warm-up.
+//! * **Graceful shutdown** — SIGTERM/ctrl-c stop the accept loop, drain
+//!   queued and in-flight work, flush every reply, then exit 0.
+//! * **Observability** — per-request spans plus `serve.requests`,
+//!   `serve.coalesced`, `serve.rejected`, `serve.deadline_expired`,
+//!   `serve.errors` counters and a `serve.latency_us` histogram.
+//!
+//! The determinism contract of the batch engine carries over the wire: a
+//! `sim` response is a pure function of its own point list (never of what
+//! it was coalesced with), so concurrent and serial answers are
+//! byte-identical.
+//!
+//! [`SimBatch`]: m3d_uarch::batch::SimBatch
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use engine::Engine;
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,325 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! # Grammar
+//!
+//! One request per line, one response per line (a rendered [`Json`] value
+//! never contains a raw newline). Requests:
+//!
+//! ```text
+//! {"id": <int>, "method": "sim"|"experiment"|"planner"|"stats",
+//!  "params": <object>, "deadline_ms": <int, optional>}
+//! ```
+//!
+//! Responses echo the request `id` (or `null` if the line was too broken
+//! to carry one):
+//!
+//! ```text
+//! {"id": <int|null>, "ok": true,  "result": <value>}
+//! {"id": <int|null>, "ok": false, "error": {"kind": <str>, "message": <str>}}
+//! ```
+//!
+//! Responses to pipelined requests may arrive out of order; clients match
+//! on `id`.
+//!
+//! # `sim` params
+//!
+//! Either a single point or `{"points": [...]}`; each point is
+//!
+//! ```text
+//! {"app": "Gcc", "design": "Base", "seed": 0, "n_cores": 1,
+//!  "warmup": 5000, "measure": 4000, "freq_ghz": 3.3 (optional)}
+//! ```
+//!
+//! `design` names a paper design point (`Base`, `TSV3D`, `M3D-Iso`,
+//! `M3D-HetNaive`, `M3D-Het`, `M3D-HetAgg` for one core; `Base`, `TSV3D`,
+//! `M3D-Het`, `M3D-Het-W`, `M3D-Het-2X` for several), `app` a SPEC CPU2006
+//! profile (one core) or a SPLASH-style parallel profile (several).
+//! `params` may also carry `"strict": true` to turn truncated
+//! (livelock-capped) points into a `cap_exhausted` error instead of a
+//! flagged result.
+//!
+//! # Error kinds
+//!
+//! `parse`, `bad_request`, `unknown_method`, `oversized`, `overloaded`,
+//! `deadline`, `invalid`, `cap_exhausted`, `panic`, `shutdown`.
+
+use m3d_core::experiments::registry::ExperimentError;
+use m3d_core::report::Json;
+
+/// Hard cap on one request line, bytes (including the newline). Longer
+/// lines are answered with an `oversized` error and discarded.
+pub const MAX_LINE_BYTES: usize = 256 * 1024;
+
+/// Hard cap on the number of points in one `sim` request.
+pub const MAX_POINTS: usize = 1024;
+
+/// Hard cap on `warmup + measure` of one point, µops per core — bounds the
+/// work one request can demand.
+pub const MAX_INTERVAL_UOPS: u64 = 5_000_000;
+
+/// A request method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Evaluate simulation points through the batch engine.
+    Sim,
+    /// Run a registry experiment by name.
+    Experiment,
+    /// Return the planned design space.
+    Planner,
+    /// Return a live metrics snapshot.
+    Stats,
+}
+
+impl Method {
+    /// Wire name → method.
+    pub fn from_name(name: &str) -> Option<Method> {
+        match name {
+            "sim" => Some(Method::Sim),
+            "experiment" => Some(Method::Experiment),
+            "planner" => Some(Method::Planner),
+            "stats" => Some(Method::Stats),
+            _ => None,
+        }
+    }
+
+    /// Method → wire name (also the span label).
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Sim => "sim",
+            Method::Experiment => "experiment",
+            Method::Planner => "planner",
+            Method::Stats => "stats",
+        }
+    }
+}
+
+/// Structured error category carried in the `error.kind` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not valid JSON.
+    Parse,
+    /// The request shape or parameters were wrong.
+    BadRequest,
+    /// The method name is not one of the four served.
+    UnknownMethod,
+    /// The request line exceeded [`MAX_LINE_BYTES`].
+    Oversized,
+    /// The admission queue was full (backpressure).
+    Overloaded,
+    /// The request's deadline expired before the work could run.
+    Deadline,
+    /// The simulator rejected the configuration (typed `SimError`).
+    Invalid,
+    /// A strict `sim` (or an experiment) hit the livelock cap.
+    CapExhausted,
+    /// The handler panicked; the payload message is attached.
+    Panic,
+    /// The server is shutting down and no longer admits work.
+    Shutdown,
+}
+
+impl ErrorKind {
+    /// The wire spelling.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnknownMethod => "unknown_method",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Invalid => "invalid",
+            ErrorKind::CapExhausted => "cap_exhausted",
+            ErrorKind::Panic => "panic",
+            ErrorKind::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A structured wire error: a category plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Error category.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Build an error.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for [`ErrorKind::BadRequest`].
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::BadRequest, message)
+    }
+}
+
+impl From<&ExperimentError> for WireError {
+    /// Typed experiment failures map to structured wire errors — the point
+    /// of replacing the registry's stringly errors.
+    fn from(e: &ExperimentError) -> Self {
+        let kind = match e {
+            ExperimentError::Invalid(_) => ErrorKind::Invalid,
+            ExperimentError::CapExhausted { .. } => ErrorKind::CapExhausted,
+            ExperimentError::Panic(_) => ErrorKind::Panic,
+        };
+        WireError::new(kind, e.to_string())
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client correlation id, echoed in the response.
+    pub id: i64,
+    /// What to do.
+    pub method: Method,
+    /// Method parameters (an empty object if absent).
+    pub params: Json,
+    /// Optional deadline, milliseconds from receipt.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parse one request line. On failure, returns the id if one was readable
+/// (so the error response can still be correlated) plus the error.
+pub fn parse_request(line: &str) -> Result<Request, (Option<i64>, WireError)> {
+    let v = Json::parse(line)
+        .map_err(|e| (None, WireError::new(ErrorKind::Parse, format!("invalid JSON: {e}"))))?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err((
+            None,
+            WireError::bad_request("request must be a JSON object"),
+        ));
+    }
+    let id = match v.get("id") {
+        Some(Json::Int(i)) => *i,
+        Some(_) => {
+            return Err((None, WireError::bad_request("`id` must be an integer")));
+        }
+        None => return Err((None, WireError::bad_request("`id` is required"))),
+    };
+    let method = match v.get("method") {
+        Some(Json::Str(s)) => Method::from_name(s).ok_or_else(|| {
+            (
+                Some(id),
+                WireError::new(ErrorKind::UnknownMethod, format!("unknown method `{s}`")),
+            )
+        })?,
+        _ => {
+            return Err((
+                Some(id),
+                WireError::bad_request("`method` must be a string"),
+            ));
+        }
+    };
+    let deadline_ms = match v.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(Json::Int(ms)) if *ms >= 0 => Some(*ms as u64),
+        Some(_) => {
+            return Err((
+                Some(id),
+                WireError::bad_request("`deadline_ms` must be a non-negative integer"),
+            ));
+        }
+    };
+    let params = match v.get("params") {
+        None => Json::Obj(Vec::new()),
+        Some(p @ Json::Obj(_)) => p.clone(),
+        Some(_) => {
+            return Err((
+                Some(id),
+                WireError::bad_request("`params` must be an object"),
+            ));
+        }
+    };
+    Ok(Request {
+        id,
+        method,
+        params,
+        deadline_ms,
+    })
+}
+
+/// Render a success response line (no trailing newline).
+pub fn ok_line(id: i64, result: Json) -> String {
+    Json::obj([
+        ("id", Json::from(id)),
+        ("ok", Json::from(true)),
+        ("result", result),
+    ])
+    .render_compact()
+}
+
+/// Render an error response line (no trailing newline).
+pub fn err_line(id: Option<i64>, e: &WireError) -> String {
+    Json::obj([
+        ("id", id.map(Json::from).unwrap_or(Json::Null)),
+        ("ok", Json::from(false)),
+        (
+            "error",
+            Json::obj([
+                ("kind", Json::from(e.kind.wire_name())),
+                ("message", Json::from(e.message.as_str())),
+            ]),
+        ),
+    ])
+    .render_compact()
+}
+
+/// Build a request line (no trailing newline) — the client-side dual of
+/// [`parse_request`], shared by `loadgen` and the tests.
+pub fn request_line(id: i64, method: Method, params: Json, deadline_ms: Option<u64>) -> String {
+    let mut fields = vec![
+        ("id".to_owned(), Json::from(id)),
+        ("method".to_owned(), Json::from(method.name())),
+        ("params".to_owned(), params),
+    ];
+    if let Some(ms) = deadline_ms {
+        fields.push(("deadline_ms".to_owned(), Json::from(ms)));
+    }
+    Json::Obj(fields).render_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let line = request_line(7, Method::Sim, Json::Obj(Vec::new()), Some(250));
+        let r = parse_request(&line).expect("parses");
+        assert_eq!(r.id, 7);
+        assert_eq!(r.method, Method::Sim);
+        assert_eq!(r.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn parse_failures_are_categorized() {
+        let (id, e) = parse_request("not json").expect_err("parse error");
+        assert_eq!((id, e.kind), (None, ErrorKind::Parse));
+        let (id, e) = parse_request("[1,2]").expect_err("not an object");
+        assert_eq!((id, e.kind), (None, ErrorKind::BadRequest));
+        let (id, e) =
+            parse_request(r#"{"id":3,"method":"frobnicate"}"#).expect_err("unknown method");
+        assert_eq!((id, e.kind), (Some(3), ErrorKind::UnknownMethod));
+        let (id, e) =
+            parse_request(r#"{"id":4,"method":"sim","deadline_ms":-1}"#).expect_err("deadline");
+        assert_eq!((id, e.kind), (Some(4), ErrorKind::BadRequest));
+    }
+
+    #[test]
+    fn error_lines_echo_known_ids() {
+        let e = WireError::new(ErrorKind::Overloaded, "queue full");
+        assert_eq!(
+            err_line(Some(9), &e),
+            r#"{"id":9,"ok":false,"error":{"kind":"overloaded","message":"queue full"}}"#
+        );
+        assert!(err_line(None, &e).starts_with(r#"{"id":null,"#));
+    }
+}

@@ -1,0 +1,591 @@
+//! The TCP server: accept loop, bounded admission queue, worker pool with
+//! `sim` micro-batching, and graceful shutdown.
+//!
+//! # Threading model
+//!
+//! * The accept loop polls a non-blocking listener so it can also watch
+//!   the shutdown flag.
+//! * Each connection gets a reader thread. Cheap read-only methods
+//!   (`planner`, `stats`) are answered inline on it; heavy work (`sim`,
+//!   `experiment`) is pushed through the bounded [`Queue`] — a full queue
+//!   answers `overloaded` immediately (backpressure, never buffering).
+//! * A fixed worker pool drains the queue. A worker that pops a
+//!   deadline-free `sim` request also drains every other queued
+//!   deadline-free `sim` request and submits them as **one** batch:
+//!   requests sharing a warm key then share a warm-up checkpoint inside
+//!   [`SimBatch`](m3d_uarch::batch::SimBatch). Deadline-bearing `sim`
+//!   requests run alone — a deadline must never cancel a bystander.
+//! * Responses are written by whichever thread produced them, one full
+//!   line per lock of the connection's writer; pipelined responses may
+//!   interleave across requests but never within a line.
+//!
+//! # Shutdown
+//!
+//! SIGTERM/SIGINT (or [`ServerHandle::shutdown`]) set a flag. The accept
+//! loop stops, the queue closes (new pushes answer `shutdown`), workers
+//! finish everything already queued, readers flush in-flight replies, and
+//! `run` returns — the binary then exits 0.
+
+use crate::engine::{parse_sim_params, Engine, SimRequest};
+use crate::protocol::{
+    err_line, ok_line, parse_request, ErrorKind, Method, WireError, MAX_LINE_BYTES,
+};
+use m3d_core::report::Json;
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Process-wide "a termination signal arrived" flag.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    // The only async-signal-safe thing worth doing: set a flag the accept
+    // loop polls.
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Route SIGTERM and SIGINT (ctrl-c) into a graceful drain instead of the
+/// default immediate kill. Called once by the `serve` binary; safe to call
+/// more than once.
+pub fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Quick registry scale for `experiment` queries.
+    pub quick: bool,
+    /// Batch-engine lanes and experiment worker-pool size (1..=64).
+    pub jobs: usize,
+    /// Admission-queue bound; a full queue rejects with `overloaded`.
+    pub queue_cap: usize,
+    /// Worker threads draining the queue (clamped to at least one).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            quick: false,
+            jobs: 1,
+            queue_cap: 64,
+            workers: 2,
+        }
+    }
+}
+
+/// One queued `sim` request.
+struct SimWork {
+    id: i64,
+    req: SimRequest,
+    received: Instant,
+    reply: Arc<ConnWriter>,
+}
+
+/// One queued `experiment` request.
+struct ExpWork {
+    id: i64,
+    params: Json,
+    deadline: Option<Instant>,
+    received: Instant,
+    reply: Arc<ConnWriter>,
+}
+
+enum Work {
+    /// Deadline-free `sim`: eligible for coalescing.
+    Sim(SimWork),
+    /// Deadline-bearing `sim`: runs alone.
+    SimDeadline(SimWork, Instant),
+    /// `experiment`.
+    Experiment(ExpWork),
+}
+
+impl Work {
+    /// Answer this work with an error without running it (queue rejection).
+    fn fail(self, e: WireError) {
+        match self {
+            Work::Sim(w) | Work::SimDeadline(w, _) => send_result(&w.reply, w.id, w.received, Err(e)),
+            Work::Experiment(w) => send_result(&w.reply, w.id, w.received, Err(e)),
+        }
+    }
+}
+
+/// What a worker claims in one round.
+enum Batch {
+    /// One or more coalesced deadline-free `sim` requests.
+    Sims(Vec<SimWork>),
+    /// A single non-coalescible item.
+    One(Work),
+}
+
+struct QueueInner {
+    items: VecDeque<Work>,
+    closed: bool,
+}
+
+/// Bounded admission queue (mutex + condvar; no timers, no unbounded
+/// buffering).
+struct Queue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl Queue {
+    fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Admit work, or hand it back with the structured rejection.
+    fn push(&self, w: Work) -> Result<(), (Work, WireError)> {
+        let mut q = self.inner.lock().expect("serve queue poisoned");
+        if q.closed {
+            return Err((
+                w,
+                WireError::new(ErrorKind::Shutdown, "server is shutting down"),
+            ));
+        }
+        if q.items.len() >= self.cap {
+            return Err((
+                w,
+                WireError::new(
+                    ErrorKind::Overloaded,
+                    format!("admission queue full ({} queued)", q.items.len()),
+                ),
+            ));
+        }
+        q.items.push_back(w);
+        drop(q);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Stop admitting; queued work still drains.
+    fn close(&self) {
+        self.inner.lock().expect("serve queue poisoned").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Claim the next batch: a deadline-free `sim` head coalesces every
+    /// other queued deadline-free `sim`; anything else runs alone. `None`
+    /// once the queue is closed and drained.
+    fn pop_batch(&self) -> Option<Batch> {
+        let mut q = self.inner.lock().expect("serve queue poisoned");
+        loop {
+            if let Some(w) = q.items.pop_front() {
+                return Some(match w {
+                    Work::Sim(first) => {
+                        let mut group = vec![first];
+                        let mut rest = VecDeque::with_capacity(q.items.len());
+                        for other in q.items.drain(..) {
+                            match other {
+                                Work::Sim(s) => group.push(s),
+                                keep => rest.push_back(keep),
+                            }
+                        }
+                        q.items = rest;
+                        Batch::Sims(group)
+                    }
+                    other => Batch::One(other),
+                });
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.cv.wait(q).expect("serve queue poisoned");
+        }
+    }
+}
+
+/// The write half of one connection, shared between its reader thread and
+/// the workers answering its queued requests.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    /// Requests admitted but not yet answered; the reader waits for zero
+    /// before letting the connection close.
+    pending: AtomicUsize,
+}
+
+impl ConnWriter {
+    /// Write one response line. Write errors are ignored: the client may
+    /// have hung up, which must not take the worker down.
+    fn send(&self, line: &str) {
+        use std::io::Write;
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        let mut s = self.stream.lock().expect("connection writer poisoned");
+        let _ = s.write_all(&buf);
+        let _ = s.flush();
+    }
+}
+
+/// Send a handler outcome and maintain the serve counters / latency
+/// histogram. Decrements the connection's pending count.
+fn send_result(writer: &ConnWriter, id: i64, received: Instant, result: Result<Json, WireError>) {
+    let line = match result {
+        Ok(v) => ok_line(id, v),
+        Err(e) => {
+            m3d_obs::add("serve.errors", 1);
+            match e.kind {
+                ErrorKind::Deadline => m3d_obs::add("serve.deadline_expired", 1),
+                ErrorKind::Overloaded => m3d_obs::add("serve.rejected", 1),
+                _ => {}
+            }
+            err_line(Some(id), &e)
+        }
+    };
+    writer.send(&line);
+    m3d_obs::record("serve.latency_us", received.elapsed().as_secs_f64() * 1e6);
+    writer.pending.fetch_sub(1, Ordering::AcqRel);
+}
+
+struct ServerState {
+    engine: Engine,
+    queue: Queue,
+    stop: AtomicBool,
+    workers: usize,
+}
+
+impl ServerState {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) || SIGNALLED.load(Ordering::Relaxed)
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Bind the listener and build the engine. Fails on an unbindable
+    /// address or an out-of-range `jobs` (surfaced as `InvalidInput`).
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let engine = Engine::new(cfg.quick, cfg.jobs).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+        })?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                engine,
+                queue: Queue::new(cfg.queue_cap),
+                stop: AtomicBool::new(false),
+                workers: cfg.workers.max(1),
+            }),
+        })
+    }
+
+    /// The actual bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a signal arrives or [`ServerHandle::shutdown`] is
+    /// called, then drain and return.
+    pub fn run(self) {
+        let mut workers = Vec::new();
+        for k in 0..self.state.workers {
+            let st = Arc::clone(&self.state);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{k}"))
+                    .spawn(move || {
+                        m3d_obs::label_thread(format!("serve-worker-{k}"));
+                        worker_loop(&st);
+                    })
+                    .expect("spawn serve worker"),
+            );
+        }
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        while !self.state.stopping() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let st = Arc::clone(&self.state);
+                    conns.push(std::thread::spawn(move || handle_conn(stream, st)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+            conns.retain(|h| !h.is_finished());
+        }
+        // Drain: close the queue (pushes now answer `shutdown`), let the
+        // workers finish what was admitted, then let every reader flush
+        // its in-flight replies.
+        self.state.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+
+    /// Run on a background thread; the returned handle stops it.
+    pub fn spawn(self) -> ServerHandle {
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle { state, thread }
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    thread: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Request a graceful drain and wait for it to finish.
+    pub fn shutdown(self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        let _ = self.thread.join();
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "handler panicked".to_owned()
+    }
+}
+
+fn worker_loop(state: &ServerState) {
+    while let Some(batch) = state.queue.pop_batch() {
+        match batch {
+            Batch::Sims(group) => {
+                if group.len() > 1 {
+                    m3d_obs::add("serve.coalesced", (group.len() - 1) as u64);
+                }
+                let _span = m3d_obs::span("serve", "sim");
+                let reqs: Vec<&SimRequest> = group.iter().map(|w| &w.req).collect();
+                match catch_unwind(AssertUnwindSafe(|| state.engine.sim_group(&reqs, None))) {
+                    Ok(results) => {
+                        for (w, r) in group.iter().zip(results) {
+                            send_result(&w.reply, w.id, w.received, r);
+                        }
+                    }
+                    Err(p) => {
+                        let e = WireError::new(ErrorKind::Panic, panic_text(p));
+                        for w in &group {
+                            send_result(&w.reply, w.id, w.received, Err(e.clone()));
+                        }
+                    }
+                }
+            }
+            Batch::One(Work::SimDeadline(w, deadline)) => {
+                let _span = m3d_obs::span("serve", "sim");
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    state.engine.sim_group(&[&w.req], Some(deadline))
+                }))
+                .map(|mut v| v.pop().expect("one request in, one response out"))
+                .unwrap_or_else(|p| Err(WireError::new(ErrorKind::Panic, panic_text(p))));
+                send_result(&w.reply, w.id, w.received, r);
+            }
+            Batch::One(Work::Sim(w)) => {
+                // Unreachable by construction (pop_batch coalesces these),
+                // but answering it is still the right fallback.
+                let _span = m3d_obs::span("serve", "sim");
+                let r = state
+                    .engine
+                    .sim_group(&[&w.req], None)
+                    .pop()
+                    .expect("one request in, one response out");
+                send_result(&w.reply, w.id, w.received, r);
+            }
+            Batch::One(Work::Experiment(w)) => {
+                let _span = m3d_obs::span("serve", "experiment");
+                let r = if w.deadline.is_some_and(|d| Instant::now() >= d) {
+                    Err(WireError::new(
+                        ErrorKind::Deadline,
+                        "deadline expired before the experiment started",
+                    ))
+                } else {
+                    catch_unwind(AssertUnwindSafe(|| state.engine.experiment(&w.params)))
+                        .unwrap_or_else(|p| {
+                            Err(WireError::new(ErrorKind::Panic, panic_text(p)))
+                        })
+                };
+                send_result(&w.reply, w.id, w.received, r);
+            }
+        }
+    }
+}
+
+fn oversized_line() -> String {
+    err_line(
+        None,
+        &WireError::new(
+            ErrorKind::Oversized,
+            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        ),
+    )
+}
+
+fn handle_conn(stream: TcpStream, state: Arc<ServerState>) {
+    let _ = stream.set_nodelay(true);
+    // A short read timeout lets the reader poll the shutdown flag while
+    // still blocking cheaply when the connection is idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(ConnWriter {
+            stream: Mutex::new(w),
+            pending: AtomicUsize::new(0),
+        }),
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut discarding = false;
+    loop {
+        while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=nl).collect();
+            if discarding {
+                // Tail of an oversized line (already answered): resync.
+                discarding = false;
+                continue;
+            }
+            // The streaming check below only catches lines that overflow
+            // the buffer before their newline arrives; a line that exceeds
+            // the cap within the final read chunk completes normally, so
+            // the cap must also be enforced on every completed line.
+            if line.len() - 1 > MAX_LINE_BYTES {
+                m3d_obs::add("serve.errors", 1);
+                writer.send(&oversized_line());
+                continue;
+            }
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+            let text = text.trim_end_matches('\r');
+            if text.trim().is_empty() {
+                continue;
+            }
+            process_line(text, &writer, &state);
+        }
+        if state.stopping() {
+            break;
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            m3d_obs::add("serve.errors", 1);
+            writer.send(&oversized_line());
+            buf.clear();
+            discarding = true;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
+    // Flush: admitted requests still own a reply slot on this connection;
+    // give the workers a bounded window to finish them.
+    let t0 = Instant::now();
+    while writer.pending.load(Ordering::Acquire) > 0
+        && t0.elapsed() < Duration::from_secs(60)
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn process_line(line: &str, writer: &Arc<ConnWriter>, state: &Arc<ServerState>) {
+    let received = Instant::now();
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err((id, e)) => {
+            m3d_obs::add("serve.errors", 1);
+            writer.send(&err_line(id, &e));
+            return;
+        }
+    };
+    m3d_obs::add("serve.requests", 1);
+    let deadline = req
+        .deadline_ms
+        .map(|ms| received + Duration::from_millis(ms));
+    match req.method {
+        Method::Planner => {
+            let _span = m3d_obs::span("serve", "planner");
+            writer.pending.fetch_add(1, Ordering::AcqRel);
+            send_result(writer, req.id, received, Ok(state.engine.planner()));
+        }
+        Method::Stats => {
+            let _span = m3d_obs::span("serve", "stats");
+            writer.pending.fetch_add(1, Ordering::AcqRel);
+            send_result(writer, req.id, received, Ok(state.engine.stats()));
+        }
+        Method::Sim => {
+            let sim = match parse_sim_params(&req.params) {
+                Ok(s) => s,
+                Err(e) => {
+                    m3d_obs::add("serve.errors", 1);
+                    writer.send(&err_line(Some(req.id), &e));
+                    return;
+                }
+            };
+            let w = SimWork {
+                id: req.id,
+                req: sim,
+                received,
+                reply: Arc::clone(writer),
+            };
+            writer.pending.fetch_add(1, Ordering::AcqRel);
+            let work = match deadline {
+                Some(d) => Work::SimDeadline(w, d),
+                None => Work::Sim(w),
+            };
+            if let Err((work, e)) = state.queue.push(work) {
+                work.fail(e);
+            }
+        }
+        Method::Experiment => {
+            let w = ExpWork {
+                id: req.id,
+                params: req.params.clone(),
+                deadline,
+                received,
+                reply: Arc::clone(writer),
+            };
+            writer.pending.fetch_add(1, Ordering::AcqRel);
+            if let Err((work, e)) = state.queue.push(Work::Experiment(w)) {
+                work.fail(e);
+            }
+        }
+    }
+}

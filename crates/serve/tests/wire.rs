@@ -1,0 +1,222 @@
+//! Wire-protocol tests against a real in-process server on an ephemeral
+//! port: malformed input, unknown methods, oversized lines, deadline
+//! expiry, queue-full backpressure, and the concurrent-equals-serial
+//! byte-determinism guarantee.
+
+use m3d_core::report::Json;
+use m3d_serve::client::Client;
+use m3d_serve::protocol::{request_line, Method, MAX_LINE_BYTES};
+use m3d_serve::{Engine, Server, ServerConfig, ServerHandle};
+
+fn start(queue_cap: usize) -> (String, ServerHandle) {
+    let server = Server::bind(ServerConfig {
+        quick: true,
+        queue_cap,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr").to_string();
+    (addr, server.spawn())
+}
+
+fn error_kind(reply: &Json) -> Option<String> {
+    match (reply.get("ok"), reply.get("error")) {
+        (Some(Json::Bool(false)), Some(err)) => match err.get("kind") {
+            Some(Json::Str(k)) => Some(k.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn sim_params(app: &str, seed: u64, warmup: u64, measure: u64) -> Json {
+    Json::obj([
+        ("app", Json::from(app)),
+        ("design", Json::from("Base")),
+        ("seed", Json::from(seed)),
+        ("warmup", Json::from(warmup)),
+        ("measure", Json::from(measure)),
+    ])
+}
+
+#[test]
+fn malformed_and_unknown_requests_answer_structured_errors() {
+    let (addr, handle) = start(8);
+    let mut c = Client::connect(&addr).expect("connect");
+
+    let reply = c.call_raw("this is not json").expect("reply");
+    let j = Json::parse(&reply).expect("error reply parses");
+    assert_eq!(error_kind(&j).as_deref(), Some("parse"));
+    assert_eq!(j.get("id"), Some(&Json::Null));
+
+    let j = c
+        .request(41, Method::Sim, Json::obj([("app", Json::from(7i64))]), None)
+        .expect("reply");
+    assert_eq!(error_kind(&j).as_deref(), Some("bad_request"));
+    assert_eq!(j.get("id"), Some(&Json::Int(41)));
+
+    let reply = c
+        .call_raw(r#"{"id":42,"method":"frobnicate"}"#)
+        .expect("reply");
+    let j = Json::parse(&reply).expect("parses");
+    assert_eq!(error_kind(&j).as_deref(), Some("unknown_method"));
+    assert_eq!(j.get("id"), Some(&Json::Int(42)));
+
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_lines_are_rejected_and_the_connection_recovers() {
+    let (addr, handle) = start(8);
+    let mut c = Client::connect(&addr).expect("connect");
+
+    let huge = format!(
+        r#"{{"id":1,"method":"stats","params":{{"pad":"{}"}}}}"#,
+        "x".repeat(MAX_LINE_BYTES)
+    );
+    let reply = c.call_raw(&huge).expect("reply");
+    let j = Json::parse(&reply).expect("parses");
+    assert_eq!(error_kind(&j).as_deref(), Some("oversized"));
+
+    // The reader resynchronizes on the next newline: the connection keeps
+    // working.
+    let j = c
+        .request(2, Method::Stats, Json::Obj(Vec::new()), None)
+        .expect("follow-up works");
+    assert_eq!(j.get("ok"), Some(&Json::Bool(true)));
+
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_expiry_cancels_cleanly() {
+    let (addr, handle) = start(8);
+    let mut c = Client::connect(&addr).expect("connect");
+
+    // A unique seed keeps this point out of the process-wide memo cache
+    // (cache hits are served even past a deadline, by design).
+    let j = c
+        .request(
+            7,
+            Method::Sim,
+            Json::obj([("points", Json::arr([sim_params("Gcc", 0xDEAD_0001, 2_000, 1_500)]))]),
+            Some(0),
+        )
+        .expect("reply");
+    assert_eq!(error_kind(&j).as_deref(), Some("deadline"));
+
+    // The connection (and server) survive a cancelled request.
+    let j = c
+        .request(8, Method::Stats, Json::Obj(Vec::new()), None)
+        .expect("follow-up works");
+    assert_eq!(j.get("ok"), Some(&Json::Bool(true)));
+
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded() {
+    // cap 0: nothing is ever admitted — deterministic backpressure.
+    let (addr, handle) = start(0);
+    let mut c = Client::connect(&addr).expect("connect");
+    let j = c
+        .request(
+            9,
+            Method::Sim,
+            Json::obj([("points", Json::arr([sim_params("Gcc", 0xDEAD_0002, 2_000, 1_500)]))]),
+            None,
+        )
+        .expect("reply");
+    assert_eq!(error_kind(&j).as_deref(), Some("overloaded"));
+
+    // Inline methods bypass the queue and still answer.
+    let j = c
+        .request(10, Method::Stats, Json::Obj(Vec::new()), None)
+        .expect("reply");
+    assert_eq!(j.get("ok"), Some(&Json::Bool(true)));
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_connections_match_serial_answers_byte_for_byte() {
+    // The same point list (mixing shared warm keys and a multicore point)
+    // answered over 4 concurrent connections must equal the serial
+    // engine's answer — the responses are pure functions of the request,
+    // never of what the queue coalesced them with.
+    let points = Json::arr([
+        sim_params("Gcc", 0x00C0_FF01, 3_000, 2_000),
+        sim_params("Mcf", 0x00C0_FF02, 3_000, 2_000),
+        // Shares a warm-up checkpoint with the first point:
+        sim_params("Gcc", 0x00C0_FF01, 3_000, 2_500),
+        Json::obj([
+            ("app", Json::from("Ocean")),
+            ("design", Json::from("M3D-Het")),
+            ("seed", Json::from(0x00C0_FF03_u64)),
+            ("n_cores", Json::from(2u64)),
+            ("warmup", Json::from(2_000u64)),
+            ("measure", Json::from(1_500u64)),
+        ]),
+    ]);
+    let line = request_line(77, Method::Sim, Json::obj([("points", points)]), None);
+
+    let engine = Engine::new(true, 1).expect("engine");
+    let expected = engine.answer_line(&line);
+    assert!(expected.contains(r#""ok":true"#), "{expected}");
+
+    let (addr, handle) = start(64);
+    let answers: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (addr, line) = (&addr, &line);
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    c.call_raw(line).expect("reply")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("thread")).collect()
+    });
+    for a in &answers {
+        assert_eq!(a, &expected, "concurrent answer diverged from serial");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_all_answered_and_shutdown_closes_cleanly() {
+    let (addr, handle) = start(64);
+    let mut c = Client::connect(&addr).expect("connect");
+    // Pipeline several requests before reading anything: the queue may
+    // coalesce them into one batch (or split them across workers, so reply
+    // order is not guaranteed), but every request keeps its own reply.
+    for k in 0..6i64 {
+        c.send(
+            100 + k,
+            Method::Sim,
+            Json::obj([(
+                "points",
+                Json::arr([sim_params("Bzip2", 0xD7A1_0000 + k as u64, 2_000, 1_500)]),
+            )]),
+            None,
+        )
+        .expect("send");
+    }
+    let mut ids = Vec::new();
+    for _ in 0..6 {
+        let line = c.read_line().expect("pipelined reply");
+        let j = Json::parse(&line).expect("parses");
+        assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{line}");
+        if let Some(Json::Int(id)) = j.get("id") {
+            ids.push(*id);
+        }
+    }
+    ids.sort_unstable();
+    assert_eq!(ids, (100..106).collect::<Vec<i64>>());
+    // Graceful shutdown drains and then closes the connection.
+    handle.shutdown();
+    assert!(
+        c.read_line().is_err(),
+        "connection must be closed after shutdown"
+    );
+}

@@ -323,6 +323,13 @@ fn result_cache() -> &'static Mutex<HashMap<PointKey, PerfResult>> {
     RESULT_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Number of results currently memoized in the process-wide cache.
+/// `m3d-serve` reports this in its `stats` response so load generators can
+/// tell a warm server from a cold one.
+pub fn result_cache_len() -> usize {
+    result_cache().lock().expect("batch result cache poisoned").len()
+}
+
 /// One warm-up group: points sharing a warm key, simulated as a single
 /// task (warm once, then clone the machine per measurement interval).
 struct Group {
@@ -336,6 +343,7 @@ struct Group {
 pub struct SimBatch {
     jobs: usize,
     use_cache: bool,
+    deadline: Option<std::time::Instant>,
 }
 
 impl SimBatch {
@@ -344,6 +352,7 @@ impl SimBatch {
         Self {
             jobs: jobs.max(1),
             use_cache: true,
+            deadline: None,
         }
     }
 
@@ -352,6 +361,23 @@ impl SimBatch {
     /// and by determinism tests comparing against cold runs.
     pub fn without_cache(mut self) -> Self {
         self.use_cache = false;
+        self
+    }
+
+    /// Cancel work not yet started once `deadline` passes: each warm-up
+    /// group checks the clock before it builds its machine, and a group
+    /// starting late answers every member with
+    /// [`SimError::DeadlineExceeded`] instead of simulating. A group
+    /// already running finishes (cancellation is at group granularity, so
+    /// no partial or truncated result can ever be returned), and
+    /// memo-cache hits are still served — they cost no simulation time.
+    ///
+    /// A deadline makes *which* points answer time-dependent, so
+    /// deadline-bearing batches are exempt from the module's determinism
+    /// contract; callers that need byte-stable output (the experiment
+    /// drivers) never set one.
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -443,7 +469,14 @@ impl SimBatch {
             let _span = m3d_obs::span_named("batch", || {
                 format!("{}x{}", first.profile.name, first.n_cores)
             });
-            let outcomes = simulate_group(points, &primaries, g, &cycles, &capped);
+            let outcomes = if self
+                .deadline
+                .is_some_and(|d| std::time::Instant::now() >= d)
+            {
+                vec![Err(SimError::DeadlineExceeded); g.members.len()]
+            } else {
+                simulate_group(points, &primaries, g, &cycles, &capped)
+            };
             let mut guard = slots.lock().expect("batch slots poisoned");
             for (slot, r) in g.members.iter().zip(outcomes) {
                 guard[*slot] = Some(r);
@@ -724,6 +757,25 @@ mod tests {
             SimBatch::new(1).without_cache().run(&[zero])[0],
             Err(SimError::ZeroCores)
         );
+    }
+
+    #[test]
+    fn expired_deadline_cancels_unstarted_groups() {
+        let seed = 0xBA7C_0007;
+        let pts = vec![single("Gcc", seed, CoreConfig::base_2d(), 5_000, 4_000)];
+        let past = std::time::Instant::now();
+        let rs = SimBatch::new(1)
+            .without_cache()
+            .with_deadline(past)
+            .run(&pts);
+        assert_eq!(rs[0], Err(SimError::DeadlineExceeded));
+        // Warm the memo cache, then the same expired deadline still
+        // answers: hits cost no simulation time and are never cancelled.
+        let rs = SimBatch::new(1).run(&pts);
+        assert!(rs[0].is_ok());
+        let rs = SimBatch::new(1).with_deadline(past).run(&pts);
+        assert!(rs[0].is_ok(), "memo hits are served past the deadline");
+        assert!(result_cache_len() >= 1);
     }
 
     #[test]

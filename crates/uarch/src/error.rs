@@ -50,6 +50,10 @@ pub enum SimError {
         /// Requested table entries.
         entries: usize,
     },
+    /// A batch deadline expired before this point's group was simulated
+    /// (see [`crate::batch::SimBatch::with_deadline`]). The point was
+    /// cancelled, not truncated: no partial result exists.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for SimError {
@@ -78,6 +82,9 @@ impl fmt::Display for SimError {
                 f,
                 "branch predictor entries {entries} must be a power of two"
             ),
+            SimError::DeadlineExceeded => {
+                write!(f, "batch deadline expired before the point ran")
+            }
         }
     }
 }
