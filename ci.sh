@@ -80,6 +80,12 @@ grep -q '"batch_probe"' BENCH_repro.json || {
   echo "ci.sh: BENCH_repro.json lacks the batch sharding probe" >&2
   exit 1
 }
+# --check above already fails on a cycles/sec regression beyond the budget
+# (CYCLE_THROUGHPUT_BUDGET in m3d-bench); this guards the block's presence.
+grep -q '"cycle_probe"' BENCH_repro.json || {
+  echo "ci.sh: BENCH_repro.json lacks the cycle-loop throughput probe" >&2
+  exit 1
+}
 grep -q '"serve_probe"' BENCH_repro.json || {
   echo "ci.sh: BENCH_repro.json lacks the serve throughput probe" >&2
   exit 1

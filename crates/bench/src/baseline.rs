@@ -21,6 +21,14 @@
 //! list, independent of the lane count. A separate probe times the same
 //! batch on one lane vs many, recording the sharding gain (informational,
 //! never gated).
+//!
+//! The **cycle probe** measures the raw cycle-loop throughput: simulated
+//! machine cycles per wall-second over a pinned single-lane point set with
+//! the memo cache bypassed. Its `cycles` count is deterministic and gated
+//! exactly like the experiment counters; its throughput is gated against a
+//! *generous* budget ([`CYCLE_THROUGHPUT_BUDGET`]) so a wholesale loss of
+//! the SoA/skip-ahead speedup fails CI while ordinary machine noise never
+//! does.
 
 use crate::artifacts::SCHEMA_VERSION;
 use m3d_core::experiments::registry::{run_experiments, select, Ctx, Outcome};
@@ -96,6 +104,11 @@ pub struct Baseline {
     pub batch_sharded_s: f64,
     /// Lane count used by the sharded side of the batch probe.
     pub batch_lanes: u64,
+    /// Machine cycles simulated by the cycle probe's pinned point set
+    /// (deterministic; gated exactly).
+    pub cycle_cycles: u64,
+    /// Fastest wall time of one cycle-probe pass, seconds.
+    pub cycle_wall_s: f64,
 }
 
 impl Baseline {
@@ -114,6 +127,16 @@ impl Baseline {
     pub fn batch_speedup(&self) -> f64 {
         if self.batch_sharded_s > 0.0 {
             self.batch_serial_s / self.batch_sharded_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated machine cycles per wall-second of the cycle probe — the
+    /// headline number for cycle-loop throughput work.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.cycle_wall_s > 0.0 {
+            self.cycle_cycles as f64 / self.cycle_wall_s
         } else {
             0.0
         }
@@ -228,6 +251,77 @@ pub fn measure_batch(samples: usize) -> (f64, f64, usize) {
     (fastest(&serial), fastest(&sharded), lanes)
 }
 
+/// Apps in the cycle-throughput probe's pinned point set. Each runs once
+/// on the 2D baseline core and once on the 3D-paths core so both wakeup
+/// latencies exercise the loop.
+const CYCLE_PROBE_APPS: usize = 4;
+
+/// Warm-up cycles per cycle-probe point (excluded from measurement state
+/// but simulated, so they count toward the probe's cycle total).
+const CYCLE_PROBE_WARMUP: u64 = 10_000;
+
+/// Measured cycles per cycle-probe point.
+const CYCLE_PROBE_MEASURE: u64 = 30_000;
+
+/// Trace seed for the cycle probe, distinct from every experiment seed
+/// and from [`BATCH_PROBE_SEED`] so the probe cannot interact with any
+/// memo cache (it also bypasses the cache entirely).
+const CYCLE_PROBE_SEED: u64 = 0xC9C1;
+
+/// The cycle probe's pinned point set: the first [`CYCLE_PROBE_APPS`]
+/// SPEC2006 profiles, each as a single-core point on the 2D baseline and
+/// on the 3D-paths configuration.
+fn cycle_probe_points() -> Vec<SimPoint> {
+    let interval = SimInterval {
+        warmup: CYCLE_PROBE_WARMUP,
+        measure: CYCLE_PROBE_MEASURE,
+    };
+    spec2006()
+        .into_iter()
+        .take(CYCLE_PROBE_APPS)
+        .flat_map(|app| {
+            [
+                SimPoint::single(CoreConfig::base_2d(), app.clone(), CYCLE_PROBE_SEED, interval),
+                SimPoint::single(
+                    CoreConfig::base_2d().with_3d_paths(),
+                    app,
+                    CYCLE_PROBE_SEED,
+                    interval,
+                ),
+            ]
+        })
+        .collect()
+}
+
+/// Probe raw cycle-loop throughput: one lane, memo cache bypassed, the
+/// pinned point set of [`cycle_probe_points`]. Returns `(cycles, wall_s)`
+/// where `cycles` is the deterministic simulated-cycle total (gated
+/// exactly — a change means the simulated machines behaved differently)
+/// and `wall_s` is the fastest pass (min-of-N, like the other probes).
+pub fn measure_cycles(samples: usize) -> (u64, f64) {
+    let points = cycle_probe_points();
+    let batch = SimBatch::new(1).without_cache();
+    let run = || {
+        let t0 = Instant::now();
+        let (results, stats) = batch.run_with_stats(&points);
+        let wall = t0.elapsed().as_secs_f64();
+        for r in results {
+            r.expect("cycle-probe points are valid");
+        }
+        (stats.cycles, wall)
+    };
+    // Warm once before timing; the cycle count of the warm-up pass is the
+    // reference every timed pass must reproduce.
+    let (cycles, _) = run();
+    let mut walls = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let (c, w) = run();
+        assert_eq!(c, cycles, "cycle probe must simulate deterministically");
+        walls.push(w);
+    }
+    (cycles, fastest(&walls))
+}
+
 /// Run the gated experiment subset (quick scale, one worker, collection on)
 /// and the overhead probe, and return the measurement.
 pub fn measure() -> Baseline {
@@ -254,6 +348,7 @@ pub fn measure() -> Baseline {
         .collect();
     let (solve_disabled_s, solve_enabled_s) = measure_overhead(40);
     let (batch_serial_s, batch_sharded_s, batch_lanes) = measure_batch(3);
+    let (cycle_cycles, cycle_wall_s) = measure_cycles(3);
     if !was_enabled {
         m3d_obs::disable();
     }
@@ -264,6 +359,8 @@ pub fn measure() -> Baseline {
         batch_serial_s,
         batch_sharded_s,
         batch_lanes: batch_lanes as u64,
+        cycle_cycles,
+        cycle_wall_s,
     }
 }
 
@@ -321,6 +418,15 @@ pub fn baseline_json(b: &Baseline) -> Json {
                 ("speedup", Json::from(b.batch_speedup())),
             ]),
         ),
+        (
+            "cycle_probe",
+            Json::obj([
+                ("points", Json::from(CYCLE_PROBE_APPS * 2)),
+                ("cycles", Json::from(b.cycle_cycles)),
+                ("wall_s", Json::from(b.cycle_wall_s)),
+                ("cycles_per_sec", Json::from(b.cycles_per_sec())),
+            ]),
+        ),
     ])
 }
 
@@ -359,9 +465,9 @@ pub fn baseline_from_json(j: &Json) -> Result<Baseline, String> {
         Some(Json::Int(i)) => Ok(*i as f64),
         other => Err(format!("bad {block}.{k}: {other:?}")),
     };
-    let batch_lanes = match j.get("batch_probe").and_then(|o| o.get("lanes")) {
-        Some(Json::Int(i)) if *i >= 0 => *i as u64,
-        other => return Err(format!("bad batch_probe.lanes: {other:?}")),
+    let uint = |block: &str, k: &str| match j.get(block).and_then(|o| o.get(k)) {
+        Some(Json::Int(i)) if *i >= 0 => Ok(*i as u64),
+        other => Err(format!("bad {block}.{k}: {other:?}")),
     };
     Ok(Baseline {
         experiments,
@@ -369,13 +475,23 @@ pub fn baseline_from_json(j: &Json) -> Result<Baseline, String> {
         solve_enabled_s: probe("obs_overhead", "solve_enabled_s")?,
         batch_serial_s: probe("batch_probe", "serial_s")?,
         batch_sharded_s: probe("batch_probe", "sharded_s")?,
-        batch_lanes,
+        batch_lanes: uint("batch_probe", "lanes")?,
+        cycle_cycles: uint("cycle_probe", "cycles")?,
+        cycle_wall_s: probe("cycle_probe", "wall_s")?,
     })
 }
 
+/// Fraction of the committed cycle-probe throughput the current run must
+/// reach for the gate to pass. Deliberately generous: it only fires when
+/// the cycle loop gets ≳3× slower (the SoA/skip-ahead speedup wholesale
+/// lost), so CI machine noise and neighbour load cannot trip it.
+pub const CYCLE_THROUGHPUT_BUDGET: f64 = 0.30;
+
 /// Compare `current` against `committed` and list every counter drift (an
 /// empty vector means the gate passes). Wall times and the overhead probe
-/// are not compared.
+/// are not compared, with two exceptions: the cycle probe's simulated
+/// cycle count is gated exactly (it is deterministic), and its throughput
+/// must stay within [`CYCLE_THROUGHPUT_BUDGET`] of the committed value.
 pub fn drift(committed: &Baseline, current: &Baseline) -> Vec<String> {
     let mut drifts = Vec::new();
     for cur in &current.experiments {
@@ -403,6 +519,21 @@ pub fn drift(committed: &Baseline, current: &Baseline) -> Vec<String> {
         if !current.experiments.iter().any(|e| e.name == base.name) {
             drifts.push(format!("{}: missing from the current run", base.name));
         }
+    }
+    if committed.cycle_cycles != current.cycle_cycles {
+        drifts.push(format!(
+            "cycle_probe: cycles drifted {} -> {}",
+            committed.cycle_cycles, current.cycle_cycles
+        ));
+    }
+    let (was, now) = (committed.cycles_per_sec(), current.cycles_per_sec());
+    if was > 0.0 && now < was * CYCLE_THROUGHPUT_BUDGET {
+        drifts.push(format!(
+            "cycle_probe: throughput regressed beyond budget: \
+             {now:.0} cycles/s vs {was:.0} committed \
+             (floor {:.0} = {CYCLE_THROUGHPUT_BUDGET} x committed)",
+            was * CYCLE_THROUGHPUT_BUDGET
+        ));
     }
     drifts
 }
@@ -433,6 +564,8 @@ mod tests {
             batch_serial_s: 0.080,
             batch_sharded_s: 0.020,
             batch_lanes: 4,
+            cycle_cycles: 320_000,
+            cycle_wall_s: 0.040,
         }
     }
 
@@ -445,6 +578,7 @@ mod tests {
         assert_eq!(back, b);
         assert!((b.overhead_pct() - 1.0).abs() < 1e-9);
         assert!((b.batch_speedup() - 4.0).abs() < 1e-9);
+        assert!((b.cycles_per_sec() - 8_000_000.0).abs() < 1e-6);
     }
 
     #[test]
@@ -473,7 +607,31 @@ mod tests {
         let mut current = fake_baseline();
         current.experiments[0].wall_s *= 100.0;
         current.solve_enabled_s *= 100.0;
+        // Within the generous budget: 2x slower cycle probe is noise.
+        current.cycle_wall_s *= 2.0;
         assert!(drift(&committed, &current).is_empty());
+    }
+
+    #[test]
+    fn cycle_probe_gates_cycles_exactly_and_throughput_by_budget() {
+        let committed = fake_baseline();
+
+        let mut wrong_cycles = fake_baseline();
+        wrong_cycles.cycle_cycles += 1;
+        let d = drift(&committed, &wrong_cycles);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("cycles drifted"), "{d:?}");
+
+        let mut too_slow = fake_baseline();
+        too_slow.cycle_wall_s = committed.cycle_wall_s / CYCLE_THROUGHPUT_BUDGET * 1.01;
+        let d = drift(&committed, &too_slow);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("throughput regressed"), "{d:?}");
+
+        // A *faster* run never drifts, no matter how much faster.
+        let mut faster = fake_baseline();
+        faster.cycle_wall_s /= 100.0;
+        assert!(drift(&committed, &faster).is_empty());
     }
 
     #[test]
@@ -489,6 +647,17 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted, GATE_COUNTERS);
+    }
+
+    #[test]
+    fn cycle_probe_simulates_the_pinned_set_deterministically() {
+        // measure_cycles itself asserts every timed pass reproduces the
+        // warm pass's cycle count; two full probes must also agree.
+        let (c1, w1) = measure_cycles(1);
+        let (c2, _) = measure_cycles(1);
+        assert_eq!(c1, c2, "pinned point set must simulate deterministically");
+        assert!(c1 > 0 && w1 > 0.0);
+        assert_eq!(cycle_probe_points().len(), CYCLE_PROBE_APPS * 2);
     }
 
     #[test]

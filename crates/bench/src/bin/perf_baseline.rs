@@ -17,7 +17,11 @@
 //! `--check` compares only the integer counters against the committed
 //! file — a drift means the algorithms changed behaviour, not just speed —
 //! and exits `1` listing every drifted counter. Wall times and the
-//! overhead probe are informational and never gated.
+//! overhead probe are informational and never gated, with one exception:
+//! the cycle probe (simulated cycles per wall-second over a pinned point
+//! set) gates its deterministic cycle count exactly and its throughput
+//! against a generous budget, so losing the cycle-loop speedup wholesale
+//! fails CI while machine noise cannot.
 
 use m3d_bench::baseline::{baseline_from_json, baseline_json, drift, measure};
 use m3d_bench::serve_probe::{measure_serve, serve_probe_json};
@@ -55,6 +59,12 @@ fn main() {
         current.batch_sharded_s,
         current.batch_lanes,
         current.batch_speedup()
+    );
+    eprintln!(
+        "[perf_baseline] cycle probe: {} cycles in {:.3}s ({:.0} cycles/s)",
+        current.cycle_cycles,
+        current.cycle_wall_s,
+        current.cycles_per_sec()
     );
 
     // The serve probe is informational (wall-clock, machine-dependent) and

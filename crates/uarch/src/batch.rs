@@ -171,6 +171,10 @@ impl SimPoint {
         h.u64(c.btb_ways as u64);
         h.u64(c.ras_entries as u64);
         h.u64(c.complex_decode_extra);
+        // `c.skip_ahead` is deliberately NOT hashed: it is a simulator-speed
+        // knob with no effect on results (see the `skip_equiv` property
+        // test), so points differing only in it memoize to the same entry —
+        // which is exactly what the determinism contract requires.
 
         let p = &self.profile;
         h.bytes(p.name.as_bytes());
@@ -799,5 +803,29 @@ mod tests {
         let mut other = base.clone();
         other.interval.warmup = 999;
         assert_ne!(base.warm_key(), other.warm_key());
+    }
+
+    #[test]
+    fn skip_ahead_flag_never_enters_the_memo_key() {
+        // skip_ahead is a speed knob with identical results, so two points
+        // differing only in it must share one memo entry — and earn it:
+        // their simulations must really agree.
+        let on = single("Mcf", 0x5A1D, CoreConfig::base_2d(), 4_000, 4_000);
+        let mut off = on.clone();
+        off.config = off.config.clone().with_skip_ahead(false);
+        assert_eq!(on.key(), off.key());
+        assert_eq!(on.warm_key(), off.warm_key());
+
+        let r_on = SimBatch::new(1)
+            .without_cache()
+            .run(std::slice::from_ref(&on))
+            .remove(0)
+            .expect("sim ok");
+        let r_off = SimBatch::new(1)
+            .without_cache()
+            .run(std::slice::from_ref(&off))
+            .remove(0)
+            .expect("sim ok");
+        assert_eq!(r_on, r_off, "skip-ahead changed a batch result");
     }
 }

@@ -22,20 +22,24 @@ impl AccessOutcome {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    lru: u64,
-}
+/// Line metadata bit: the line holds valid data.
+const M_VALID: u8 = 1 << 0;
+/// Line metadata bit: the line has been written since fill.
+const M_DIRTY: u8 = 1 << 1;
 
 /// Set-associative cache with LRU replacement and write-back policy.
+///
+/// Line state is stored structure-of-arrays — parallel `tags`/`lru`/`meta`
+/// columns indexed by `set * ways + way` — so the way scan on the access
+/// fast path walks one dense `u64` array instead of striding over padded
+/// per-line structs. `meta` packs the valid and dirty bits.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     sets: usize,
-    lines: Vec<Line>,
+    tags: Vec<u64>,
+    lru: Vec<u64>,
+    meta: Vec<u8>,
     tick: u64,
     /// Accesses observed.
     pub accesses: u64,
@@ -55,10 +59,13 @@ impl Cache {
             sets > 0 && sets.is_power_of_two(),
             "set count must be a positive power of two, got {sets}"
         );
+        let n = sets * cfg.ways;
         Self {
             cfg,
             sets,
-            lines: vec![Line::default(); sets * cfg.ways],
+            tags: vec![0; n],
+            lru: vec![0; n],
+            meta: vec![0; n],
             tick: 0,
             accesses: 0,
             misses: 0,
@@ -81,37 +88,34 @@ impl Cache {
         self.accesses += 1;
         let (set, tag) = self.index(addr);
         let base = set * self.cfg.ways;
-        for w in 0..self.cfg.ways {
-            let l = &mut self.lines[base + w];
-            if l.valid && l.tag == tag {
-                l.lru = self.tick;
-                l.dirty |= write;
+        for i in base..base + self.cfg.ways {
+            if self.meta[i] & M_VALID != 0 && self.tags[i] == tag {
+                self.lru[i] = self.tick;
+                if write {
+                    self.meta[i] |= M_DIRTY;
+                }
                 return AccessOutcome::Hit;
             }
         }
         self.misses += 1;
         // Victim: invalid way first, else LRU.
         let mut victim = base;
-        for w in 0..self.cfg.ways {
-            let i = base + w;
-            if !self.lines[i].valid {
+        for i in base..base + self.cfg.ways {
+            if self.meta[i] & M_VALID == 0 {
                 victim = i;
                 break;
             }
-            if self.lines[i].lru < self.lines[victim].lru {
+            if self.lru[i] < self.lru[victim] {
                 victim = i;
             }
         }
-        let wb = (self.lines[victim].valid && self.lines[victim].dirty).then(|| {
+        let wb = (self.meta[victim] & (M_VALID | M_DIRTY) == M_VALID | M_DIRTY).then(|| {
             // Reconstruct the victim's address.
-            (self.lines[victim].tag) * self.cfg.line_bytes as u64
+            self.tags[victim] * self.cfg.line_bytes as u64
         });
-        self.lines[victim] = Line {
-            tag,
-            valid: true,
-            dirty: write,
-            lru: self.tick,
-        };
+        self.tags[victim] = tag;
+        self.meta[victim] = M_VALID | if write { M_DIRTY } else { 0 };
+        self.lru[victim] = self.tick;
         AccessOutcome::Miss { writeback: wb }
     }
 
@@ -119,10 +123,8 @@ impl Cache {
     pub fn contains(&self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
         let base = set * self.cfg.ways;
-        (0..self.cfg.ways).any(|w| {
-            let l = &self.lines[base + w];
-            l.valid && l.tag == tag
-        })
+        (base..base + self.cfg.ways)
+            .any(|i| self.meta[i] & M_VALID != 0 && self.tags[i] == tag)
     }
 
     /// Invalidate a line if present (coherence). Returns whether it was
@@ -130,12 +132,10 @@ impl Cache {
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
         let base = set * self.cfg.ways;
-        for w in 0..self.cfg.ways {
-            let l = &mut self.lines[base + w];
-            if l.valid && l.tag == tag {
-                let was_dirty = l.dirty;
-                l.valid = false;
-                l.dirty = false;
+        for i in base..base + self.cfg.ways {
+            if self.meta[i] & M_VALID != 0 && self.tags[i] == tag {
+                let was_dirty = self.meta[i] & M_DIRTY != 0;
+                self.meta[i] = 0;
                 return was_dirty;
             }
         }

@@ -6,6 +6,32 @@
 //! instead blocks fetch until it resolves plus the restart penalty —
 //! the standard trace-driven treatment, and the path whose length the
 //! paper's 3D designs shorten by two cycles.
+//!
+//! # Hot-loop layout
+//!
+//! The reorder buffer is a structure-of-arrays ring ([`RobSoa`]): one flat
+//! array per field, indexed by slot, so the issue scan walks a handful of
+//! dense `u64` arrays instead of chasing `VecDeque` entries. Slots are
+//! generation-tagged: a dependency is the packed pair `(generation, slot)`,
+//! and a tag whose generation no longer matches its slot refers to a
+//! retired producer, which is by definition complete. This removes the
+//! per-issue `HashMap` the previous implementation used to look up producer
+//! completion times. See DESIGN.md § "Cycle loop" for the field map and the
+//! equivalence argument.
+//!
+//! # Skip-ahead
+//!
+//! [`CoreEngine::step`] reports whether the cycle made progress (committed,
+//! issued, dispatched or fetched anything, or newly announced a barrier).
+//! When a cycle makes no progress, every in-flight µop is draining an event
+//! whose completion cycle is already known (a DRAM miss, a long FU op, an
+//! I-cache refill), so the run loops in [`Core::run`] and
+//! [`crate::Multicore::run`] ask [`CoreEngine::next_wake`] for the earliest
+//! cycle at which anything can change and jump the clock there, applying
+//! the per-cycle idle statistics in bulk via [`CoreEngine::skip_idle`].
+//! Results are cycle-for-cycle identical to stepping; the safety argument
+//! is spelled out in DESIGN.md and enforced by the `skip_equiv` property
+//! test.
 
 use crate::bpred::{Btb, Ras, Tournament};
 use crate::config::CoreConfig;
@@ -21,29 +47,164 @@ struct FetchedOp {
     mispredicted: bool,
 }
 
+/// Packed dependency / producer tag: `(generation << 32) | slot`.
+///
+/// `TAG_NONE` means "no producer". Because slots are bounded by the ROB
+/// capacity (far below 2³²), a real tag can never collide with `TAG_NONE`.
+const TAG_NONE: u64 = u64::MAX;
+
+/// `done` value of an entry that has not issued yet.
+const NOT_ISSUED: u64 = u64::MAX;
+
+/// `dst` value of an entry without a destination register.
+const NO_DST: u8 = u8::MAX;
+
+/// Entry flag: this µop is a mispredicted branch (resolves the front end).
+const F_MISPRED: u8 = 1 << 0;
+/// Entry flag: the µop currently occupies an issue-queue slot.
+const F_IN_IQ: u8 = 1 << 1;
+/// Entry flag: the µop touches cross-core shared data.
+const F_SHARED: u8 = 1 << 2;
+/// Entry flag: the destination register comes from the FP pool.
+const F_FP_DST: u8 = 1 << 3;
+
+/// Structure-of-arrays reorder buffer: a ring of `cap` generation-tagged
+/// slots. Field `x` of the entry in slot `s` lives at `x[s]`; the occupied
+/// window is the `len` slots starting at `head` (wrapping).
+///
+/// Slot reuse is disambiguated by `gen[s]`, bumped on every allocation:
+/// a dependency tag carries the generation it was created under, so a
+/// mismatch proves the producer has retired (and its result is available).
 #[derive(Debug, Clone)]
-struct RobEntry {
-    seq: u64,
-    op: MicroOp,
-    deps: [Option<u64>; 2],
-    dispatched: u64,
-    issued: bool,
-    done_cycle: u64,
-    mispredicted: bool,
-    in_iq: bool,
+struct RobSoa {
+    cap: usize,
+    head: usize,
+    len: usize,
+    /// Allocation generation per slot (bumped by `alloc`).
+    gen: Vec<u32>,
+    /// Program-order sequence number.
+    seq: Vec<u64>,
+    /// µop kind.
+    kind: Vec<OpKind>,
+    /// Destination architectural register, or `NO_DST`.
+    dst: Vec<u8>,
+    /// Producer tags for the two source operands (`TAG_NONE` = ready).
+    deps: Vec<[u64; 2]>,
+    /// Cycle the entry was dispatched.
+    dispatched: Vec<u64>,
+    /// Completion cycle once issued; `NOT_ISSUED` before.
+    done: Vec<u64>,
+    /// Kind-dependent payload: memory address, or barrier id.
+    payload: Vec<u64>,
+    /// `F_*` bit flags.
+    flags: Vec<u8>,
 }
 
-pub(crate) fn activity_sub(a: &mut ActivityStats, b: &ActivityStats) {
-    macro_rules! sub {
-        ($($f:ident),*) => { $( a.$f -= b.$f; )* };
+impl RobSoa {
+    fn new(cap: usize) -> Self {
+        assert!(cap > 0 && cap < u32::MAX as usize, "ROB capacity {cap}");
+        Self {
+            cap,
+            head: 0,
+            len: 0,
+            gen: vec![0; cap],
+            seq: vec![0; cap],
+            kind: vec![OpKind::IntAlu; cap],
+            dst: vec![NO_DST; cap],
+            deps: vec![[TAG_NONE; 2]; cap],
+            dispatched: vec![0; cap],
+            done: vec![0; cap],
+            payload: vec![0; cap],
+            flags: vec![0; cap],
+        }
     }
-    sub!(
-        fetched, dispatched, issued, committed, rf_reads, rf_writes, rat_reads, rat_writes,
-        iq_wakeups, lq_searches, sq_searches, store_forwards, bpred_accesses, btb_accesses,
-        branches, mispredictions, alu_ops, mul_ops, fp_ops, loads, stores, active_cycles,
-        barriers, barrier_stall_cycles, stall_frontend_cycles, stall_memory_cycles,
-        stall_execute_cycles, rob_occupancy_sum, iq_occupancy_sum, occupancy_samples
-    );
+
+    /// Slot of the `k`-th oldest entry (`k < len`).
+    #[inline]
+    fn slot_at(&self, k: usize) -> usize {
+        let s = self.head + k;
+        if s >= self.cap { s - self.cap } else { s }
+    }
+
+    /// Packed producer tag for the entry currently in `slot`.
+    #[inline]
+    fn tag(&self, slot: usize) -> u64 {
+        ((self.gen[slot] as u64) << 32) | slot as u64
+    }
+
+    /// Allocate the slot after the current tail, bumping its generation.
+    /// The caller fills every field. Requires `len < cap`.
+    #[inline]
+    fn alloc(&mut self) -> usize {
+        debug_assert!(self.len < self.cap);
+        let slot = self.slot_at(self.len);
+        self.len += 1;
+        self.gen[slot] = self.gen[slot].wrapping_add(1);
+        slot
+    }
+
+    /// Free the head slot. `done` is zeroed so that a dependency tag still
+    /// carrying this generation reads as complete (`0 <= cycle`), which is
+    /// correct: the producer has retired.
+    #[inline]
+    fn free_head(&mut self) {
+        debug_assert!(self.len > 0);
+        self.done[self.head] = 0;
+        self.head += 1;
+        if self.head == self.cap {
+            self.head = 0;
+        }
+        self.len -= 1;
+    }
+
+    /// Whether the producer named by `tag` has a result available at
+    /// `cycle`. Three cases: no producer; generation mismatch (the producer
+    /// retired and its slot was reused); or an in-window producer whose
+    /// completion cycle has been reached (freed slots keep `done = 0`).
+    #[inline]
+    fn dep_ready(&self, tag: u64, cycle: u64) -> bool {
+        if tag == TAG_NONE {
+            return true;
+        }
+        let slot = (tag & 0xFFFF_FFFF) as usize;
+        let gen = (tag >> 32) as u32;
+        self.gen[slot] != gen || self.done[slot] <= cycle
+    }
+}
+
+/// Structure-of-arrays store-forwarding buffer: in-flight stores as
+/// parallel `(seq, 8-byte-aligned address, done_cycle)` columns, oldest
+/// first. Loads scan `addr8` newest-first for a matching older store.
+#[derive(Debug, Clone, Default)]
+struct StoreFwd {
+    seq: Vec<u64>,
+    addr8: Vec<u64>,
+    done: Vec<u64>,
+}
+
+impl StoreFwd {
+    fn push(&mut self, seq: u64, addr8: u64, done: u64) {
+        self.seq.push(seq);
+        self.addr8.push(addr8);
+        self.done.push(done);
+    }
+
+    fn remove_seq(&mut self, seq: u64) {
+        if let Some(pos) = self.seq.iter().position(|&s| s == seq) {
+            self.seq.remove(pos);
+            self.addr8.remove(pos);
+            self.done.remove(pos);
+        }
+    }
+
+    /// Completion cycle of the youngest store older than `load_seq` to the
+    /// same 8-byte word, if any.
+    fn forward_from(&self, load_seq: u64, a8: u64) -> Option<u64> {
+        (0..self.seq.len())
+            .rev()
+            .find(|&i| self.seq[i] < load_seq && self.addr8[i] == a8)
+            .map(|i| self.done[i])
+    }
 }
 
 /// Coordination state for barrier µops across cores.
@@ -65,9 +226,15 @@ impl BarrierCtl {
         }
     }
 
-    /// Core `c` has reached barrier `id` (idempotent).
-    pub fn announce(&mut self, c: usize, id: u64) {
-        *self.arrived.entry(id).or_insert(0) |= 1 << c;
+    /// Core `c` has reached barrier `id` (idempotent). Returns whether this
+    /// announcement is new — i.e. the barrier state actually changed, which
+    /// the skip-ahead machinery counts as forward progress.
+    pub fn announce(&mut self, c: usize, id: u64) -> bool {
+        let e = self.arrived.entry(id).or_insert(0);
+        let bit = 1u32 << c;
+        let newly = *e & bit == 0;
+        *e |= bit;
+        newly
     }
 
     /// Whether barrier `id` has been reached by all cores.
@@ -90,10 +257,13 @@ pub struct CoreEngine {
     pub core_id: usize,
     cfg: CoreConfig,
     gen: TraceGenerator,
-    rob: VecDeque<RobEntry>,
+    rob: RobSoa,
     next_seq: u64,
-    rat: [Option<u64>; 32],
-    done_at: HashMap<u64, u64>,
+    /// Latest in-flight producer tag per architectural register
+    /// (`TAG_NONE` = the committed register file holds the value).
+    rat: [u64; 32],
+    /// In-window entries not yet issued (lets the issue scan stop early).
+    unissued: usize,
     iq_occ: usize,
     lq_occ: usize,
     sq_occ: usize,
@@ -106,10 +276,11 @@ pub struct CoreEngine {
     btb: Btb,
     #[allow(dead_code)]
     ras: Ras,
-    // (seq, 8-byte-aligned address, done_cycle) of in-flight stores.
-    sq_fwd: VecDeque<(u64, u64, u64)>,
+    sq_fwd: StoreFwd,
     next_div_free: u64,
     next_fpdiv_free: u64,
+    skip_jumps: u64,
+    skipped_cycles: u64,
     /// Activity counters.
     pub stats: ActivityStats,
     /// µops committed so far.
@@ -126,16 +297,17 @@ impl CoreEngine {
         let bpred = Tournament::new(cfg.bpred_entries);
         let btb = Btb::new(cfg.btb_entries, cfg.btb_ways);
         let ras = Ras::new(cfg.ras_entries);
+        let rob = RobSoa::new(cfg.rob_entries);
         Self {
             core_id,
             free_int: cfg.int_regs,
             free_fp: cfg.fp_regs,
             cfg,
             gen,
-            rob: VecDeque::new(),
+            rob,
             next_seq: 0,
-            rat: [None; 32],
-            done_at: HashMap::new(),
+            rat: [TAG_NONE; 32],
+            unissued: 0,
             iq_occ: 0,
             lq_occ: 0,
             sq_occ: 0,
@@ -145,9 +317,11 @@ impl CoreEngine {
             bpred,
             btb,
             ras,
-            sq_fwd: VecDeque::new(),
+            sq_fwd: StoreFwd::default(),
             next_div_free: 0,
             next_fpdiv_free: 0,
+            skip_jumps: 0,
+            skipped_cycles: 0,
             stats: ActivityStats::default(),
             committed: 0,
             cycle_at_target: None,
@@ -167,89 +341,118 @@ impl CoreEngine {
         self.stats_at_target.unwrap_or(self.stats)
     }
 
+    /// `(jumps, cycles)` the skip-ahead fast path has taken on this core.
+    /// Diagnostic only: deliberately not part of [`ActivityStats`] or
+    /// [`PerfResult`], so enabling/disabling skip-ahead cannot perturb
+    /// experiment artifacts.
+    pub fn skip_counters(&self) -> (u64, u64) {
+        (self.skip_jumps, self.skipped_cycles)
+    }
+
     fn uses_fp_reg(op: &MicroOp) -> bool {
         op.kind.is_fp()
     }
 
-    /// Advance one cycle.
-    pub fn step(&mut self, cycle: u64, mem: &mut MemorySystem, barriers: &mut BarrierCtl) {
+    /// Advance one cycle. Returns whether the cycle made forward progress:
+    /// committed, issued, dispatched or fetched at least one µop, or newly
+    /// announced a barrier arrival. A `false` return means the machine is
+    /// quiescent — every future cycle up to [`CoreEngine::next_wake`] would
+    /// also return `false` — which is what lets the run loops skip ahead.
+    pub fn step(&mut self, cycle: u64, mem: &mut MemorySystem, barriers: &mut BarrierCtl) -> bool {
         self.sample_occupancy();
-        let committed_before = self.committed;
-        self.commit(cycle, barriers);
-        if self.committed == committed_before {
+        let before = (
+            self.stats.committed,
+            self.stats.issued,
+            self.stats.dispatched,
+            self.stats.fetched,
+        );
+        let newly_announced = self.commit(cycle, barriers);
+        if self.stats.committed == before.0 {
             self.attribute_stall(cycle);
         }
         self.issue(cycle, mem);
         self.dispatch(cycle);
         self.fetch(cycle, mem);
+        newly_announced
+            || (
+                self.stats.committed,
+                self.stats.issued,
+                self.stats.dispatched,
+                self.stats.fetched,
+            ) != before
     }
 
     fn sample_occupancy(&mut self) {
         self.stats.occupancy_samples += 1;
-        self.stats.rob_occupancy_sum += self.rob.len() as u64;
+        self.stats.rob_occupancy_sum += self.rob.len as u64;
         self.stats.iq_occupancy_sum += self.iq_occ as u64;
     }
 
     /// Attribute a commit-less cycle to the structure holding it up.
     fn attribute_stall(&mut self, cycle: u64) {
-        match self.rob.front() {
-            None => self.stats.stall_frontend_cycles += 1,
-            Some(head) => {
-                if head.op.kind == OpKind::Barrier {
-                    // Counted by the commit path as barrier stall.
-                } else if !head.issued || head.done_cycle > cycle {
-                    if head.op.kind.is_mem() {
-                        self.stats.stall_memory_cycles += 1;
-                    } else {
-                        self.stats.stall_execute_cycles += 1;
-                    }
-                }
+        if self.rob.len == 0 {
+            self.stats.stall_frontend_cycles += 1;
+            return;
+        }
+        let h = self.rob.head;
+        let kind = self.rob.kind[h];
+        if kind == OpKind::Barrier {
+            // Counted by the commit path as barrier stall.
+        } else if self.rob.done[h] == NOT_ISSUED || self.rob.done[h] > cycle {
+            if kind.is_mem() {
+                self.stats.stall_memory_cycles += 1;
+            } else {
+                self.stats.stall_execute_cycles += 1;
             }
         }
     }
 
-    fn commit(&mut self, cycle: u64, barriers: &mut BarrierCtl) {
+    /// In-order commit. Returns whether a barrier arrival was newly
+    /// announced (progress even when nothing commits).
+    fn commit(&mut self, cycle: u64, barriers: &mut BarrierCtl) -> bool {
+        let mut newly_announced = false;
         let mut n = 0;
         while n < self.cfg.commit_width {
-            let Some(head) = self.rob.front() else { break };
-            if !head.issued || head.done_cycle > cycle {
+            if self.rob.len == 0 {
                 break;
             }
-            if head.op.kind == OpKind::Barrier {
-                barriers.announce(self.core_id, head.op.barrier_id);
-                if !barriers.released(head.op.barrier_id) {
+            let h = self.rob.head;
+            let done = self.rob.done[h];
+            if done == NOT_ISSUED || done > cycle {
+                break;
+            }
+            let kind = self.rob.kind[h];
+            if kind == OpKind::Barrier {
+                newly_announced |= barriers.announce(self.core_id, self.rob.payload[h]);
+                if !barriers.released(self.rob.payload[h]) {
                     self.stats.barrier_stall_cycles += 1;
                     break;
                 }
                 self.stats.barriers += 1;
             }
-            let head = self.rob.pop_front().expect("checked non-empty");
-            if head.op.dst.is_some() {
+            let dst = self.rob.dst[h];
+            if dst != NO_DST {
                 self.stats.rf_writes += 1;
-                if Self::uses_fp_reg(&head.op) {
+                if self.rob.flags[h] & F_FP_DST != 0 {
                     self.free_fp += 1;
                 } else {
                     self.free_int += 1;
                 }
             }
-            match head.op.kind {
+            match kind {
                 OpKind::Load => self.lq_occ -= 1,
                 OpKind::Store => {
                     self.sq_occ -= 1;
                     // The store leaves the store queue at commit.
-                    if let Some(pos) = self.sq_fwd.iter().position(|&(s, _, _)| s == head.seq) {
-                        self.sq_fwd.remove(pos);
-                    }
+                    self.sq_fwd.remove_seq(self.rob.seq[h]);
                 }
                 _ => {}
             }
             // Clear the RAT if this entry is still the latest producer.
-            if let Some(d) = head.op.dst {
-                if self.rat[d as usize] == Some(head.seq) {
-                    self.rat[d as usize] = None;
-                }
+            if dst != NO_DST && self.rat[dst as usize] == self.rob.tag(h) {
+                self.rat[dst as usize] = TAG_NONE;
             }
-            self.done_at.remove(&head.seq);
+            self.rob.free_head();
             self.committed += 1;
             self.stats.committed += 1;
             if self.committed == self.target && self.cycle_at_target.is_none() {
@@ -258,23 +461,7 @@ impl CoreEngine {
             }
             n += 1;
         }
-    }
-
-    fn dep_ready(&self, dep: Option<u64>, cycle: u64) -> bool {
-        match dep {
-            None => true,
-            Some(seq) => match self.done_at.get(&seq) {
-                Some(&done) => done <= cycle,
-                // Not issued yet → not ready; already committed → the seq is
-                // gone from the map only after commit, but deps on committed
-                // producers were satisfied before commit. Distinguish via
-                // the ROB window: anything older than the ROB head is done.
-                None => self
-                    .rob
-                    .front()
-                    .is_none_or(|head| seq < head.seq),
-            },
-        }
+        newly_announced
     }
 
     fn issue(&mut self, cycle: u64, mem: &mut MemorySystem) {
@@ -286,21 +473,26 @@ impl CoreEngine {
             self.cfg.fus.fpus,
         );
         let core = self.core_id;
-        for i in 0..self.rob.len() {
-            if issued >= self.cfg.issue_width {
+        // Oldest-first scan; once every unissued entry has been considered
+        // the remaining window holds only issued entries.
+        let unissued_total = self.unissued;
+        let mut unissued_seen = 0;
+        for k in 0..self.rob.len {
+            if issued >= self.cfg.issue_width || unissued_seen >= unissued_total {
                 break;
             }
-            let ready = {
-                let e = &self.rob[i];
-                !e.issued
-                    && e.dispatched < cycle
-                    && self.dep_ready(e.deps[0], cycle)
-                    && self.dep_ready(e.deps[1], cycle)
-            };
-            if !ready {
+            let s = self.rob.slot_at(k);
+            if self.rob.done[s] != NOT_ISSUED {
                 continue;
             }
-            let kind = self.rob[i].op.kind;
+            unissued_seen += 1;
+            if self.rob.dispatched[s] >= cycle
+                || !self.rob.dep_ready(self.rob.deps[s][0], cycle)
+                || !self.rob.dep_ready(self.rob.deps[s][1], cycle)
+            {
+                continue;
+            }
+            let kind = self.rob.kind[s];
             // Structural hazards.
             let lat = match kind {
                 OpKind::IntAlu | OpKind::Branch => {
@@ -357,22 +549,15 @@ impl CoreEngine {
                 }
                 OpKind::Barrier => 1,
             };
-            let (op_addr, op_shared, op_seq) = {
-                let e = &self.rob[i];
-                (e.op.addr, e.op.shared, e.seq)
-            };
+            let op_addr = self.rob.payload[s];
+            let op_shared = self.rob.flags[s] & F_SHARED != 0;
+            let op_seq = self.rob.seq[s];
             let done = match kind {
                 OpKind::Load => {
                     self.stats.loads += 1;
                     self.stats.sq_searches += 1;
                     let a8 = op_addr & !7;
-                    let fwd = self
-                        .sq_fwd
-                        .iter()
-                        .rev()
-                        .find(|&&(s, a, _)| s < op_seq && a == a8)
-                        .map(|&(_, _, d)| d);
-                    match fwd {
+                    match self.sq_fwd.forward_from(op_seq, a8) {
                         Some(st_done) => {
                             self.stats.store_forwards += 1;
                             cycle.max(st_done) + 1
@@ -385,21 +570,22 @@ impl CoreEngine {
                     self.stats.lq_searches += 1;
                     let _ = mem.store_latency(core, op_addr, op_shared);
                     let done = cycle + 1;
-                    self.sq_fwd.push_back((op_seq, op_addr & !7, done));
+                    self.sq_fwd.push(op_seq, op_addr & !7, done);
                     done
                 }
                 _ => cycle + lat,
             };
-            let e = &mut self.rob[i];
-            e.issued = true;
-            e.done_cycle = done;
-            if e.in_iq {
+            self.rob.done[s] = done;
+            self.unissued -= 1;
+            if self.rob.flags[s] & F_IN_IQ != 0 {
                 self.iq_occ -= 1;
-                e.in_iq = false;
+                self.rob.flags[s] &= !F_IN_IQ;
             }
-            self.done_at.insert(e.seq, done);
             self.stats.issued += 1;
-            self.stats.rf_reads += e.deps.iter().flatten().count() as u64;
+            self.stats.rf_reads += self.rob.deps[s]
+                .iter()
+                .filter(|&&d| d != TAG_NONE)
+                .count() as u64;
             match kind {
                 OpKind::IntAlu => self.stats.alu_ops += 1,
                 OpKind::IntMul | OpKind::IntDiv => self.stats.mul_ops += 1,
@@ -409,7 +595,7 @@ impl CoreEngine {
                 }
                 _ => {}
             }
-            if e.op.kind == OpKind::Branch && e.mispredicted {
+            if kind == OpKind::Branch && self.rob.flags[s] & F_MISPRED != 0 {
                 // Resolve: restart the front end after the penalty.
                 self.stats.mispredictions += 1;
                 self.fetch_stall_until = self
@@ -432,7 +618,7 @@ impl CoreEngine {
             if f.avail_cycle >= cycle {
                 break;
             }
-            if self.rob.len() >= self.cfg.rob_entries || self.iq_occ >= self.cfg.iq_entries {
+            if self.rob.len >= self.cfg.rob_entries || self.iq_occ >= self.cfg.iq_entries {
                 break;
             }
             let op = f.op;
@@ -441,8 +627,9 @@ impl CoreEngine {
                 OpKind::Store if self.sq_occ >= self.cfg.sq_entries => break,
                 _ => {}
             }
+            let fp_dst = Self::uses_fp_reg(&op);
             if op.dst.is_some() {
-                let pool = if Self::uses_fp_reg(&op) {
+                let pool = if fp_dst {
                     &mut self.free_fp
                 } else {
                     &mut self.free_int
@@ -455,34 +642,40 @@ impl CoreEngine {
             let f = self.fetch_queue.pop_front().expect("checked non-empty");
             let seq = self.next_seq;
             self.next_seq += 1;
+            // Read the RAT before (possibly) renaming the destination, so a
+            // µop reading and writing the same register sees the prior
+            // producer.
             let deps = [
-                op.srcs[0].and_then(|r| self.rat[r as usize]),
-                op.srcs[1].and_then(|r| self.rat[r as usize]),
+                op.srcs[0].map_or(TAG_NONE, |r| self.rat[r as usize]),
+                op.srcs[1].map_or(TAG_NONE, |r| self.rat[r as usize]),
             ];
             self.stats.rat_reads += op.srcs.iter().flatten().count() as u64;
-            if let Some(d) = op.dst {
-                self.rat[d as usize] = Some(seq);
-                self.stats.rat_writes += 1;
-            }
             match op.kind {
                 OpKind::Load => self.lq_occ += 1,
                 OpKind::Store => self.sq_occ += 1,
                 _ => {}
             }
             let is_barrier = op.kind == OpKind::Barrier;
-            self.rob.push_back(RobEntry {
-                seq,
-                op,
-                deps,
-                dispatched: cycle,
-                // Barriers bypass the IQ: they only synchronise at commit.
-                issued: is_barrier,
-                done_cycle: if is_barrier { cycle + 1 } else { u64::MAX },
-                mispredicted: f.mispredicted,
-                in_iq: !is_barrier,
-            });
+            let slot = self.rob.alloc();
+            self.rob.seq[slot] = seq;
+            self.rob.kind[slot] = op.kind;
+            self.rob.dst[slot] = op.dst.unwrap_or(NO_DST);
+            self.rob.deps[slot] = deps;
+            self.rob.dispatched[slot] = cycle;
+            // Barriers bypass the IQ: they only synchronise at commit.
+            self.rob.done[slot] = if is_barrier { cycle + 1 } else { NOT_ISSUED };
+            self.rob.payload[slot] = if is_barrier { op.barrier_id } else { op.addr };
+            self.rob.flags[slot] = (if f.mispredicted { F_MISPRED } else { 0 })
+                | (if is_barrier { 0 } else { F_IN_IQ })
+                | (if op.shared { F_SHARED } else { 0 })
+                | (if fp_dst { F_FP_DST } else { 0 });
+            if let Some(d) = op.dst {
+                self.rat[d as usize] = self.rob.tag(slot);
+                self.stats.rat_writes += 1;
+            }
             if !is_barrier {
                 self.iq_occ += 1;
+                self.unissued += 1;
             }
             self.stats.dispatched += 1;
         }
@@ -537,6 +730,137 @@ impl CoreEngine {
             }
         }
     }
+
+    /// Earliest cycle strictly after `cycle` at which a quiescent core can
+    /// make progress, or `None` if no local event is pending (livelock, or
+    /// waiting purely on remote cores). Only meaningful right after a
+    /// [`CoreEngine::step`] at `cycle` returned `false`.
+    ///
+    /// Candidates (see DESIGN.md for why this set is exhaustive):
+    /// the head entry's completion (commit), each unissued entry whose
+    /// operands are all complete or in flight with known completion times
+    /// (issue — entries waiting on an unissued producer are covered by the
+    /// producer's own candidate, and kinds with zero functional units can
+    /// never issue), the fetch queue's front becoming dispatchable, and the
+    /// front-end restart cycle. Extra candidates are harmless (the step at
+    /// a too-early wake is idle and skip-ahead resumes); a missing candidate
+    /// would be a correctness bug, caught by the `skip_equiv` property test.
+    pub fn next_wake(&self, cycle: u64) -> Option<u64> {
+        let mut wake: Option<u64> = None;
+        let mut consider = |w: u64| {
+            let w = w.max(cycle + 1);
+            wake = Some(wake.map_or(w, |cur| cur.min(w)));
+        };
+        if self.rob.len > 0 {
+            let head_done = self.rob.done[self.rob.head];
+            if head_done != NOT_ISSUED && head_done > cycle {
+                consider(head_done);
+            }
+        }
+        let mut unissued_seen = 0;
+        for k in 0..self.rob.len {
+            if unissued_seen >= self.unissued {
+                break;
+            }
+            let s = self.rob.slot_at(k);
+            if self.rob.done[s] != NOT_ISSUED {
+                continue;
+            }
+            unissued_seen += 1;
+            let kind = self.rob.kind[s];
+            // A kind with no functional unit can never issue; without a
+            // candidate the run loop jumps straight to its livelock cap,
+            // exactly as idle stepping would.
+            let has_fu = match kind {
+                OpKind::IntAlu | OpKind::Branch => self.cfg.fus.alus > 0,
+                OpKind::IntMul | OpKind::IntDiv => self.cfg.fus.int_mul_units > 0,
+                OpKind::FpAdd | OpKind::FpMul | OpKind::FpDiv => self.cfg.fus.fpus > 0,
+                OpKind::Load | OpKind::Store => self.cfg.fus.lsus > 0,
+                OpKind::Barrier => true,
+            };
+            if !has_fu {
+                continue;
+            }
+            let mut ready_at = cycle + 1;
+            let mut blocked_on_unissued = false;
+            for &dep in &self.rob.deps[s] {
+                if dep == TAG_NONE {
+                    continue;
+                }
+                let slot = (dep & 0xFFFF_FFFF) as usize;
+                let gen = (dep >> 32) as u32;
+                if self.rob.gen[slot] != gen {
+                    continue; // producer retired
+                }
+                let d = self.rob.done[slot];
+                if d == NOT_ISSUED {
+                    // The producer's own issue is an earlier progress event;
+                    // it ends any skip before this entry matters.
+                    blocked_on_unissued = true;
+                    break;
+                }
+                ready_at = ready_at.max(d);
+            }
+            if blocked_on_unissued {
+                continue;
+            }
+            match kind {
+                OpKind::IntDiv => ready_at = ready_at.max(self.next_div_free),
+                OpKind::FpDiv => ready_at = ready_at.max(self.next_fpdiv_free),
+                _ => {}
+            }
+            consider(ready_at);
+        }
+        if let Some(f) = self.fetch_queue.front() {
+            consider(f.avail_cycle + 1);
+        }
+        if !self.fetch_blocked_on_branch {
+            consider(self.fetch_stall_until);
+        }
+        wake
+    }
+
+    /// Account `k` consecutive idle cycles in bulk, exactly as `k` calls to
+    /// [`CoreEngine::step`] on a quiescent machine would. Per idle cycle
+    /// that means: one occupancy sample (state is frozen, so the sums scale
+    /// linearly) and one stall attribution — barrier stall when a released
+    /// barrier is pending at the head (matching the commit path), otherwise
+    /// the front-end/memory/execute split of `attribute_stall`. Nothing
+    /// else in an idle cycle touches state: no commit, issue, dispatch or
+    /// fetch happens, and the memory system and predictors are only
+    /// accessed from those paths.
+    pub fn skip_idle(&mut self, k: u64) {
+        self.skip_jumps += 1;
+        self.skipped_cycles += k;
+        self.stats.occupancy_samples += k;
+        self.stats.rob_occupancy_sum += self.rob.len as u64 * k;
+        self.stats.iq_occupancy_sum += self.iq_occ as u64 * k;
+        if self.rob.len == 0 {
+            self.stats.stall_frontend_cycles += k;
+            return;
+        }
+        let h = self.rob.head;
+        let kind = self.rob.kind[h];
+        let done = self.rob.done[h];
+        if kind == OpKind::Barrier {
+            // Quiescence implies the barrier was already announced and not
+            // released; each idle cycle's commit attempt counts one stall.
+            if done != NOT_ISSUED {
+                self.stats.barrier_stall_cycles += k;
+            }
+        } else {
+            // `attribute_stall`'s `done == NOT_ISSUED || done > cycle` test
+            // holds at every skipped cycle: an issued non-barrier head with
+            // `done <= cycle` would commit (progress, ending the skip), and
+            // the head's completion is itself a wake candidate so the jump
+            // never crosses it. The attribution is therefore unconditional.
+            if kind.is_mem() {
+                self.stats.stall_memory_cycles += k;
+            } else {
+                self.stats.stall_execute_cycles += k;
+            }
+        }
+    }
 }
 
 /// A convenience wrapper owning one core plus its private memory system.
@@ -550,6 +874,7 @@ pub struct Core {
     mem: MemorySystem,
     barriers: BarrierCtl,
     freq_ghz: f64,
+    skip_ahead: bool,
     cycle: u64,
 }
 
@@ -576,18 +901,30 @@ impl Core {
     ) -> Result<Self, crate::error::SimError> {
         cfg.validate()?;
         let freq = cfg.freq_ghz;
+        let skip_ahead = cfg.skip_ahead;
         Ok(Self {
             engine: CoreEngine::new(core_id, cfg.clone(), gen),
             mem: MemorySystem::new(cfg, 1),
             barriers: BarrierCtl::new(1),
             freq_ghz: freq,
+            skip_ahead,
             cycle: 0,
         })
+    }
+
+    /// `(jumps, cycles)` skipped by the quiescence fast path so far.
+    pub fn skip_counters(&self) -> (u64, u64) {
+        self.engine.skip_counters()
     }
 
     /// Run until `n` more µops commit (with a safety cycle cap) and report
     /// the cycles spent in this interval. Consecutive runs continue the same
     /// machine state, so a first short run serves as warm-up.
+    ///
+    /// When [`CoreConfig::skip_ahead`] is enabled (the default), cycles in
+    /// which the pipeline is fully quiescent are skipped in bulk; the
+    /// result is cycle-for-cycle identical to plain stepping (enforced by
+    /// the `skip_equiv` property test).
     ///
     /// The cap is `n * 200` cycles (at least 10k). If the core does not
     /// reach its commit target by then — possible with extreme memory
@@ -602,14 +939,24 @@ impl Core {
         let start_cycle = self.cycle;
         let cap = start_cycle + n.saturating_mul(200).max(10_000);
         while self.engine.cycle_at_target.is_none() && self.cycle < cap {
-            self.engine
+            let progressed = self
+                .engine
                 .step(self.cycle, &mut self.mem, &mut self.barriers);
             self.cycle += 1;
+            if !progressed && self.skip_ahead && self.cycle < cap {
+                // No local event known → idle until the livelock cap.
+                let wake = self.engine.next_wake(self.cycle - 1).unwrap_or(cap);
+                let k = wake.clamp(self.cycle, cap) - self.cycle;
+                if k > 0 {
+                    self.engine.skip_idle(k);
+                    self.cycle += k;
+                }
+            }
         }
         let cap_exhausted = self.engine.cycle_at_target.is_none();
         let end = self.engine.cycle_at_target.unwrap_or(self.cycle);
         let mut activity = self.engine.stats_at_target();
-        activity_sub(&mut activity, &start_stats);
+        activity.subtract(&start_stats);
         PerfResult {
             cycles: end - start_cycle,
             instructions: if cap_exhausted {
@@ -769,13 +1116,41 @@ mod tests {
     #[test]
     fn barrier_ctl_releases_when_all_arrive() {
         let mut b = BarrierCtl::new(3);
-        b.announce(0, 1);
-        b.announce(1, 1);
+        assert!(b.announce(0, 1));
+        assert!(b.announce(1, 1));
         assert!(!b.released(1));
-        b.announce(2, 1);
+        assert!(b.announce(2, 1));
         assert!(b.released(1));
-        // Idempotent announcements.
-        b.announce(2, 1);
+        // Idempotent announcements are not "new".
+        assert!(!b.announce(2, 1));
         assert!(b.released(1));
+    }
+
+    #[test]
+    fn skip_ahead_matches_stepping_exactly() {
+        // The full property test lives in tests/skip_equiv.rs; this is the
+        // cheap always-on smoke check over one memory-bound and one
+        // compute-bound app.
+        for name in ["Mcf", "Hmmer"] {
+            let on = run_app(name, CoreConfig::base_2d(), 25_000);
+            let off = run_app(name, CoreConfig::base_2d().with_skip_ahead(false), 25_000);
+            assert_eq!(on, off, "{name}: skip-ahead changed the result");
+        }
+    }
+
+    #[test]
+    fn skip_ahead_actually_skips_on_memory_bound_runs() {
+        let p = spec_by_name("Mcf").expect("profile");
+        let gen = TraceGenerator::new(&p, 11, 0, 1);
+        let mut core = Core::new(0, CoreConfig::base_2d(), gen);
+        let _ = core.run(30_000);
+        let (jumps, cycles) = core.skip_counters();
+        assert!(jumps > 0, "mcf must trigger skip-ahead");
+        assert!(cycles >= jumps, "each jump skips at least one cycle");
+
+        let gen = TraceGenerator::new(&p, 11, 0, 1);
+        let mut off = Core::new(0, CoreConfig::base_2d().with_skip_ahead(false), gen);
+        let _ = off.run(30_000);
+        assert_eq!(off.skip_counters(), (0, 0), "disabled means no jumps");
     }
 }

@@ -14,6 +14,13 @@
 //! 1 and 2 cycles respectively), issue width (M3D-Het-W uses 8), shared-L2
 //! core pairing and halved NoC hop latency (Figure 4), and core count.
 //!
+//! The cycle loop itself is built for sweep throughput: the ROB and cache
+//! line state are structure-of-arrays rings with generation-tagged slots
+//! (no per-issue hash lookups), and the run loops skip the clock over
+//! fully quiescent stretches ([`config::CoreConfig::skip_ahead`], on by
+//! default) — bit-identical to plain stepping, just faster. See DESIGN.md
+//! § "Cycle loop".
+//!
 //! # Example
 //!
 //! ```
@@ -30,7 +37,7 @@
 //! assert!(result.ipc() > 0.2 && result.ipc() < 6.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod batch;

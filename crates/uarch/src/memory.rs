@@ -44,6 +44,12 @@ pub struct MemStats {
 pub struct MemorySystem {
     cfg: CoreConfig,
     n_cores: usize,
+    /// `core >> pair_shift` maps a core to its L2 / ring stop: 1 when core
+    /// pairs share an L2 and a router stop (Figure 4), else 0. Precomputed
+    /// so the per-access hot paths avoid re-branching on the config.
+    pair_shift: u32,
+    /// Ring stop count (`n_cores`, halved and rounded up when paired).
+    stops: usize,
     il1: Vec<Cache>,
     dl1: Vec<Cache>,
     l2: Vec<Cache>,
@@ -79,44 +85,33 @@ impl MemorySystem {
             l3: (0..n_cores).map(|_| Cache::new(cfg.l3)).collect(),
             directory: HashMap::new(),
             stats: MemStats::default(),
+            pair_shift: u32::from(cfg.shared_l2_pairs),
+            stops: n_l2,
             cfg,
             n_cores,
         }
     }
 
     fn l2_index(&self, core: usize) -> usize {
-        if self.cfg.shared_l2_pairs {
-            core / 2
-        } else {
-            core
-        }
+        core >> self.pair_shift
     }
 
     /// Number of ring stops (cores pair up on one stop in 3D, Figure 4).
     pub fn ring_stops(&self) -> usize {
-        if self.cfg.shared_l2_pairs {
-            self.n_cores.div_ceil(2)
-        } else {
-            self.n_cores
-        }
+        self.stops
     }
 
     fn stop_of_core(&self, core: usize) -> usize {
-        if self.cfg.shared_l2_pairs {
-            core / 2
-        } else {
-            core
-        }
+        core >> self.pair_shift
     }
 
     fn home_stop(&self, line: u64) -> usize {
-        (line as usize) % self.ring_stops()
+        (line as usize) % self.stops
     }
 
     fn ring_hops(&self, a: usize, b: usize) -> u64 {
-        let n = self.ring_stops();
         let d = a.abs_diff(b);
-        d.min(n - d) as u64
+        d.min(self.stops - d) as u64
     }
 
     /// Round-trip NoC latency between a core and a line's home L3 bank.

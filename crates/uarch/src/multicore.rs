@@ -19,6 +19,7 @@ pub struct Multicore {
     mem: MemorySystem,
     barriers: BarrierCtl,
     freq_ghz: f64,
+    skip_ahead: bool,
     cycle: u64,
 }
 
@@ -66,6 +67,7 @@ impl Multicore {
             mem: MemorySystem::new(cfg.clone(), n_cores),
             barriers: BarrierCtl::new(n_cores),
             freq_ghz: cfg.freq_ghz,
+            skip_ahead: cfg.skip_ahead,
             cycle: 0,
         })
     }
@@ -75,10 +77,25 @@ impl Multicore {
         self.cores.len()
     }
 
+    /// `(jumps, cycles)` skipped by the quiescence fast path, summed over
+    /// cores. Every core books the same jumps: the clock only skips when
+    /// the whole chip is quiescent.
+    pub fn skip_counters(&self) -> (u64, u64) {
+        self.cores
+            .iter()
+            .map(|c| c.skip_counters())
+            .fold((0, 0), |(j, s), (cj, cs)| (j + cj, s + cs))
+    }
+
     /// Run until every core commits `n_per_core` more µops; the reported
     /// cycle count is the slowest core's completion of this interval
     /// (parallel completion time). Consecutive runs continue the same
     /// machine state, so a first short run serves as warm-up.
+    ///
+    /// When [`CoreConfig::skip_ahead`] is enabled (the default), cycles in
+    /// which no core makes any progress are skipped in bulk; results are
+    /// cycle-for-cycle identical to plain stepping (enforced by the
+    /// `skip_equiv` property test).
     ///
     /// The loop carries a livelock cap of `n_per_core * 400` cycles (at
     /// least 10k). If any core fails to reach its commit target before the
@@ -96,10 +113,33 @@ impl Multicore {
         }
         let cap = start_cycle + n_per_core.saturating_mul(400).max(10_000);
         while self.cycle < cap && self.cores.iter().any(|c| c.cycle_at_target.is_none()) {
+            let mut progressed = false;
             for c in &mut self.cores {
-                c.step(self.cycle, &mut self.mem, &mut self.barriers);
+                // `|=` (not `||`) so every core always steps.
+                progressed |= c.step(self.cycle, &mut self.mem, &mut self.barriers);
             }
             self.cycle += 1;
+            if !progressed && self.skip_ahead && self.cycle < cap {
+                // The whole chip is quiescent: jump to the earliest wake
+                // event across cores. Skip only under *global* quiescence —
+                // any single core's progress (including a new barrier
+                // arrival) can unblock another core the following cycle.
+                let wake = self
+                    .cores
+                    .iter()
+                    .filter_map(|c| c.next_wake(self.cycle - 1))
+                    .min()
+                    .unwrap_or(cap);
+                let k = wake.clamp(self.cycle, cap) - self.cycle;
+                if k > 0 {
+                    // Cores past their commit target keep stepping in the
+                    // slow path, so they book the idle cycles here too.
+                    for c in &mut self.cores {
+                        c.skip_idle(k);
+                    }
+                    self.cycle += k;
+                }
+            }
         }
         let cap_exhausted = self.cores.iter().any(|c| c.cycle_at_target.is_none());
         let finish = self
@@ -111,7 +151,7 @@ impl Multicore {
         let mut activity = ActivityStats::default();
         for (c, start) in self.cores.iter().zip(&start_stats) {
             let mut a = c.stats_at_target();
-            crate::core::activity_sub(&mut a, start);
+            a.subtract(start);
             activity.merge(&a);
         }
         let instructions = if cap_exhausted {
@@ -221,6 +261,17 @@ mod tests {
         let mut cfg = CoreConfig::base_2d();
         cfg.bpred_entries = 999;
         assert!(Multicore::try_new(cfg, &p, 1, 4).is_err());
+    }
+
+    #[test]
+    fn skip_ahead_matches_stepping_exactly() {
+        // The full property test lives in tests/skip_equiv.rs; this smoke
+        // check covers a barrier-heavy and a sharing-heavy app.
+        for name in ["Ocean", "Canneal"] {
+            let on = run(name, CoreConfig::base_2d(), 4, 20_000);
+            let off = run(name, CoreConfig::base_2d().with_skip_ahead(false), 4, 20_000);
+            assert_eq!(on, off, "{name}: skip-ahead changed the result");
+        }
     }
 
     #[test]

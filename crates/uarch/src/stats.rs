@@ -85,6 +85,27 @@ impl ActivityStats {
         );
     }
 
+    /// Subtract an earlier snapshot of the same counters, leaving the
+    /// activity of the interval between the two (used by the run loops to
+    /// report per-interval results from cumulative engine counters).
+    ///
+    /// # Panics
+    ///
+    /// Underflows (and panics in debug builds) if `earlier` is not a
+    /// snapshot taken before `self` on the same engine.
+    pub fn subtract(&mut self, earlier: &ActivityStats) {
+        macro_rules! sub {
+            ($($f:ident),*) => { $( self.$f -= earlier.$f; )* };
+        }
+        sub!(
+            fetched, dispatched, issued, committed, rf_reads, rf_writes, rat_reads, rat_writes,
+            iq_wakeups, lq_searches, sq_searches, store_forwards, bpred_accesses, btb_accesses,
+            branches, mispredictions, alu_ops, mul_ops, fp_ops, loads, stores, active_cycles,
+            barriers, barrier_stall_cycles, stall_frontend_cycles, stall_memory_cycles,
+            stall_execute_cycles, rob_occupancy_sum, iq_occupancy_sum, occupancy_samples
+        );
+    }
+
     /// Average reorder-buffer occupancy over the sampled cycles.
     pub fn avg_rob_occupancy(&self) -> f64 {
         if self.occupancy_samples == 0 {
@@ -200,6 +221,25 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.issued, 15);
         assert_eq!(a.branches, 2);
+    }
+
+    #[test]
+    fn subtract_inverts_merge() {
+        let mut a = ActivityStats {
+            issued: 10,
+            loads: 4,
+            ..Default::default()
+        };
+        let b = ActivityStats {
+            issued: 5,
+            branches: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        a.subtract(&b);
+        assert_eq!(a.issued, 10);
+        assert_eq!(a.branches, 0);
+        assert_eq!(a.loads, 4);
     }
 
     #[test]
