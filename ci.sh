@@ -56,6 +56,13 @@ SERVE_ADDR=$(cat "$SERVE_PORT_FILE")
   kill -9 "$SERVE_PID" 2>/dev/null || true
   exit 1
 }
+# One streamed `plan` against the same warm daemon: partial frontier lines
+# must arrive before a final ok:true line with a non-empty frontier.
+./target/release/loadgen --addr "$SERVE_ADDR" --plan-smoke || {
+  echo "ci.sh: plan streaming smoke failed" >&2
+  kill -9 "$SERVE_PID" 2>/dev/null || true
+  exit 1
+}
 kill -TERM "$SERVE_PID"
 SERVE_RC=0
 wait "$SERVE_PID" || SERVE_RC=$?
@@ -94,5 +101,12 @@ grep -q '"serve\.' BENCH_repro.json || {
   echo "ci.sh: BENCH_repro.json lacks the serve.* request counters" >&2
   exit 1
 }
+grep -q '"search_probe"' BENCH_repro.json || {
+  echo "ci.sh: BENCH_repro.json lacks the design-space search probe" >&2
+  exit 1
+}
+
+echo "== cargo doc --no-deps (rustdoc gate: no broken links, no missing docs) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
 
 echo "== ci.sh: all checks passed =="

@@ -29,11 +29,19 @@
 //! *generous* budget ([`CYCLE_THROUGHPUT_BUDGET`]) so a wholesale loss of
 //! the SoA/skip-ahead speedup fails CI while ordinary machine noise never
 //! does.
+//!
+//! The **search probe** runs the pinned [`search_probe_space`] through
+//! `m3d_core::search` and gates its candidate/pruned/simulated/frontier
+//! counts exactly: the space is built so the equal-frequency rule must
+//! prune ≥30% of it before simulation, so a silently disabled pruning rule
+//! (or a frontier change) fails CI. Its wall time is informational.
 
 use crate::artifacts::SCHEMA_VERSION;
 use m3d_core::experiments::registry::{run_experiments, select, Ctx, Outcome};
 use m3d_core::experiments::RunScale;
+use m3d_core::planner::DesignSpace;
 use m3d_core::report::Json;
+use m3d_core::search::{run_search, SearchOptions, SearchOutcome, SearchSpace, SearchSpaceBuilder};
 use m3d_thermal::floorplan::Floorplan;
 use m3d_thermal::model::{SweepMode, ThermalModel};
 use m3d_thermal::solver::ThermalConfig;
@@ -109,6 +117,17 @@ pub struct Baseline {
     pub cycle_cycles: u64,
     /// Fastest wall time of one cycle-probe pass, seconds.
     pub cycle_wall_s: f64,
+    /// Candidates enumerated by the search probe (gated exactly).
+    pub search_candidates: u64,
+    /// Search-probe candidates pruned before simulation (gated exactly —
+    /// a drop means a pruning rule stopped firing).
+    pub search_pruned: u64,
+    /// Search-probe candidates actually simulated (gated exactly).
+    pub search_simulated: u64,
+    /// Search-probe Pareto-frontier size (gated exactly).
+    pub search_frontier: u64,
+    /// Search-probe wall time, seconds (informational; never gated).
+    pub search_wall_s: f64,
 }
 
 impl Baseline {
@@ -294,7 +313,7 @@ fn cycle_probe_points() -> Vec<SimPoint> {
 }
 
 /// Probe raw cycle-loop throughput: one lane, memo cache bypassed, the
-/// pinned point set of [`cycle_probe_points`]. Returns `(cycles, wall_s)`
+/// pinned cycle-probe point set. Returns `(cycles, wall_s)`
 /// where `cycles` is the deterministic simulated-cycle total (gated
 /// exactly — a change means the simulated machines behaved differently)
 /// and `wall_s` is the fastest pass (min-of-N, like the other probes).
@@ -320,6 +339,39 @@ pub fn measure_cycles(samples: usize) -> (u64, f64) {
         walls.push(w);
     }
     (cycles, fastest(&walls))
+}
+
+/// Trace seed for the search probe, distinct from every experiment seed
+/// and the other probe seeds.
+const SEARCH_PROBE_SEED: u64 = 0x5EA0;
+
+/// The search probe's pinned space: all six designs, a nine-point
+/// 0.55–0.95 V supply grid, two applications — 108 candidates. The three
+/// grid points above the 0.8 V nominal clamp to each design's rated
+/// frequency, so the equal-frequency rule alone prunes 36/108 ≥ 30% of
+/// the space before simulation; the drift gate pins that exactly.
+pub fn search_probe_space() -> SearchSpace {
+    SearchSpaceBuilder {
+        apps: vec!["Gcc".to_owned(), "Bzip2".to_owned()],
+        vdds: (0..9).map(|i| 0.55 + 0.05 * i as f64).collect(),
+        seed: SEARCH_PROBE_SEED,
+        warmup: Some(1_000),
+        measure: Some(1_500),
+        chunk: Some(32),
+        ..SearchSpaceBuilder::default()
+    }
+    .build()
+    .expect("the search-probe space is valid")
+}
+
+/// Run the pinned search-probe space (one job, pruning on) and return the
+/// outcome plus the wall time. All four gated quantities (candidates,
+/// pruned, simulated, frontier size) are pure functions of the spec.
+pub fn measure_search(space: &DesignSpace) -> (SearchOutcome, f64) {
+    let t0 = Instant::now();
+    let out = run_search(space, &search_probe_space(), &SearchOptions::default(), |_| ())
+        .expect("the search-probe space runs");
+    (out, t0.elapsed().as_secs_f64())
 }
 
 /// Run the gated experiment subset (quick scale, one worker, collection on)
@@ -349,6 +401,7 @@ pub fn measure() -> Baseline {
     let (solve_disabled_s, solve_enabled_s) = measure_overhead(40);
     let (batch_serial_s, batch_sharded_s, batch_lanes) = measure_batch(3);
     let (cycle_cycles, cycle_wall_s) = measure_cycles(3);
+    let (search_out, search_wall_s) = measure_search(ctx.space());
     if !was_enabled {
         m3d_obs::disable();
     }
@@ -361,6 +414,11 @@ pub fn measure() -> Baseline {
         batch_lanes: batch_lanes as u64,
         cycle_cycles,
         cycle_wall_s,
+        search_candidates: search_out.stats.candidates,
+        search_pruned: search_out.stats.pruned(),
+        search_simulated: search_out.stats.simulated,
+        search_frontier: search_out.stats.frontier,
+        search_wall_s,
     }
 }
 
@@ -427,6 +485,16 @@ pub fn baseline_json(b: &Baseline) -> Json {
                 ("cycles_per_sec", Json::from(b.cycles_per_sec())),
             ]),
         ),
+        (
+            "search_probe",
+            Json::obj([
+                ("candidates", Json::from(b.search_candidates)),
+                ("pruned", Json::from(b.search_pruned)),
+                ("simulated", Json::from(b.search_simulated)),
+                ("frontier", Json::from(b.search_frontier)),
+                ("wall_s", Json::from(b.search_wall_s)),
+            ]),
+        ),
     ])
 }
 
@@ -478,6 +546,11 @@ pub fn baseline_from_json(j: &Json) -> Result<Baseline, String> {
         batch_lanes: uint("batch_probe", "lanes")?,
         cycle_cycles: uint("cycle_probe", "cycles")?,
         cycle_wall_s: probe("cycle_probe", "wall_s")?,
+        search_candidates: uint("search_probe", "candidates")?,
+        search_pruned: uint("search_probe", "pruned")?,
+        search_simulated: uint("search_probe", "simulated")?,
+        search_frontier: uint("search_probe", "frontier")?,
+        search_wall_s: probe("search_probe", "wall_s")?,
     })
 }
 
@@ -535,6 +608,16 @@ pub fn drift(committed: &Baseline, current: &Baseline) -> Vec<String> {
             was * CYCLE_THROUGHPUT_BUDGET
         ));
     }
+    for (name, was, now) in [
+        ("candidates", committed.search_candidates, current.search_candidates),
+        ("pruned", committed.search_pruned, current.search_pruned),
+        ("simulated", committed.search_simulated, current.search_simulated),
+        ("frontier", committed.search_frontier, current.search_frontier),
+    ] {
+        if was != now {
+            drifts.push(format!("search_probe: {name} drifted {was} -> {now}"));
+        }
+    }
     drifts
 }
 
@@ -566,6 +649,11 @@ mod tests {
             batch_lanes: 4,
             cycle_cycles: 320_000,
             cycle_wall_s: 0.040,
+            search_candidates: 108,
+            search_pruned: 36,
+            search_simulated: 72,
+            search_frontier: 9,
+            search_wall_s: 0.5,
         }
     }
 
@@ -658,6 +746,59 @@ mod tests {
         assert_eq!(c1, c2, "pinned point set must simulate deterministically");
         assert!(c1 > 0 && w1 > 0.0);
         assert_eq!(cycle_probe_points().len(), CYCLE_PROBE_APPS * 2);
+    }
+
+    #[test]
+    fn search_probe_drift_gates_all_four_integers() {
+        let committed = fake_baseline();
+        for field in 0..4usize {
+            let mut cur = fake_baseline();
+            match field {
+                0 => cur.search_candidates += 1,
+                1 => cur.search_pruned += 1,
+                2 => cur.search_simulated += 1,
+                _ => cur.search_frontier += 1,
+            }
+            let d = drift(&committed, &cur);
+            assert_eq!(d.len(), 1, "{d:?}");
+            assert!(d[0].contains("search_probe:"), "{d:?}");
+        }
+        // Wall time is informational.
+        let mut slow = fake_baseline();
+        slow.search_wall_s *= 100.0;
+        assert!(drift(&committed, &slow).is_empty());
+    }
+
+    #[test]
+    fn search_probe_prunes_thirty_percent_without_changing_the_frontier() {
+        use m3d_core::search::frontier_json;
+        let space = DesignSpace::compute();
+        let spec = search_probe_space();
+        let (out, wall) = measure_search(&space);
+        assert!(wall > 0.0);
+        assert_eq!(out.stats.candidates, 108);
+        assert!(
+            out.stats.pruned() * 10 >= out.stats.candidates * 3,
+            "probe must prune >=30%: {:?}",
+            out.stats
+        );
+        // Pruning must be invisible in the frontier: brute force over the
+        // same spec lands on the byte-identical answer.
+        let brute = run_search(
+            &space,
+            &spec,
+            &SearchOptions {
+                prune: false,
+                ..SearchOptions::default()
+            },
+            |_| (),
+        )
+        .expect("brute-force probe runs");
+        assert!(brute.stats.pruned() < out.stats.pruned());
+        assert_eq!(
+            frontier_json(&out.frontier).render(),
+            frontier_json(&brute.frontier).render()
+        );
     }
 
     #[test]

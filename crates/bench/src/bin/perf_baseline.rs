@@ -66,6 +66,15 @@ fn main() {
         current.cycle_wall_s,
         current.cycles_per_sec()
     );
+    eprintln!(
+        "[perf_baseline] search probe: {} candidates, {} pruned before \
+         simulation, {} simulated, frontier {} in {:.3}s",
+        current.search_candidates,
+        current.search_pruned,
+        current.search_simulated,
+        current.search_frontier,
+        current.search_wall_s
+    );
 
     // The serve probe is informational (wall-clock, machine-dependent) and
     // never gated; a missing serve binary skips it rather than failing.

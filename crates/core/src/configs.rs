@@ -91,6 +91,17 @@ impl DesignPoint {
         !matches!(self, DesignPoint::Base)
     }
 
+    /// The layer stack this design is assembled on, as an index into the
+    /// three cached thermal models: 0 planar 2D, 1 TSV3D, 2 M3D (every
+    /// monolithic design shares the two-tier M3D stack).
+    pub fn stack_slot(self) -> usize {
+        match self {
+            DesignPoint::Base => 0,
+            DesignPoint::Tsv3d => 1,
+            _ => 2,
+        }
+    }
+
     /// Whether this design moves the complex decoder + µcode ROM to the top
     /// layer (the hetero-layer designs do; Section 4.1.2).
     pub fn complex_decoder_in_top(self) -> bool {

@@ -13,6 +13,7 @@ pub mod fig5_logic;
 pub mod fig6_fig7_single_core;
 pub mod fig8_thermal;
 pub mod fig9_fig10_multicore;
+pub mod frontier;
 pub mod registry;
 pub mod table1_table2_fig2_vias;
 pub mod table3_4_5_partitioning;

@@ -15,7 +15,7 @@
 
 use crate::experiments::{
     ablations, fig5_logic, fig6_fig7_single_core, fig8_thermal, fig9_fig10_multicore,
-    section5_alternatives, table11_configs, table1_table2_fig2_vias,
+    frontier, section5_alternatives, table11_configs, table1_table2_fig2_vias,
     table3_4_5_partitioning, table6_best, table7_techniques, table8_hetero, RunScale,
 };
 use crate::planner::DesignSpace;
@@ -29,7 +29,7 @@ use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Upper bound on the worker-lane count a [`Ctx`] accepts. The registry
-/// holds 16 experiments and the batch engine shards within one machine, so
+/// holds 17 experiments and the batch engine shards within one machine, so
 /// lane counts beyond this are a typo, not a machine.
 pub const MAX_JOBS: usize = 64;
 
@@ -480,6 +480,15 @@ pub static REGISTRY: &[ExperimentSpec] = &[
         needs_thermal: true,
         weight: 90,
         run: fig9_fig10_multicore::report,
+    },
+    ExperimentSpec {
+        name: "frontier",
+        title: "Design-space search: Pareto frontier over designs x DVFS",
+        cli_names: &["frontier"],
+        needs_space: true,
+        needs_thermal: true,
+        weight: 80,
+        run: frontier::report,
     },
 ];
 

@@ -10,6 +10,9 @@
 //!   derived from our own model.
 //! * [`experiments`] — one driver per table/figure of the paper; each
 //!   returns typed rows and pretty-prints in the paper's layout.
+//! * [`search`] — Pareto design-space exploration over (design × issue
+//!   width × core count × application × DVFS point) candidates, with
+//!   provably-safe dominance pruning before simulation (see SEARCH.md).
 //!
 //! # Example
 //!
@@ -29,6 +32,7 @@ pub mod configs;
 pub mod experiments;
 pub mod planner;
 pub mod report;
+pub mod search;
 
 pub use configs::{DesignPoint, MulticoreDesign};
 pub use planner::DesignSpace;

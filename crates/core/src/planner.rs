@@ -13,6 +13,7 @@ use m3d_tech::process::ProcessCorner;
 use m3d_tech::via::ViaKind;
 use m3d_thermal::model::SolveStatsSummary;
 use m3d_thermal::solver::{Solution, ThermalConfig};
+use std::sync::OnceLock;
 
 /// Baseline 2D core frequency, GHz (Table 11, set by the RF access time).
 pub const BASE_FREQ_GHZ: f64 = 3.3;
@@ -257,14 +258,10 @@ impl DesignSpace {
             .map(|&d| {
                 let core_w =
                     NOMINAL_CORE_W * d.derived_frequency_ghz(self) / BASE_FREQ_GHZ;
-                let (slot, (model, cached), powers) = match d {
-                    DesignPoint::Base => (
-                        0,
-                        &designs.base,
-                        vec![designs.fp_2d.uniform_power(core_w)],
-                    ),
-                    DesignPoint::Tsv3d => (
-                        1,
+                let slot = d.stack_slot();
+                let ((model, cached), powers) = match slot {
+                    0 => (&designs.base, vec![designs.fp_2d.uniform_power(core_w)]),
+                    1 => (
                         &designs.tsv,
                         vec![
                             designs.fp_3d.uniform_power(core_w * 0.55),
@@ -272,7 +269,6 @@ impl DesignSpace {
                         ],
                     ),
                     _ => (
-                        2,
                         &designs.het,
                         vec![
                             designs.fp_3d.uniform_power(core_w * 0.55),
@@ -296,6 +292,55 @@ impl DesignSpace {
             .collect();
         (rows, stats)
     }
+}
+
+/// Linearised peak-temperature response of the three layer stacks.
+///
+/// The steady-state solver is linear in the injected power (zero power
+/// sits exactly at ambient), so one cold solve per stack at a reference
+/// power yields an exact peak-rise-per-watt coefficient: for a design on
+/// stack `s` dissipating `p` watts per core, the peak die temperature is
+/// `ambient_c + k_c_per_w[s] * p`. The design-space search uses this for
+/// its thermal objective — it is order-independent and deterministic,
+/// where chains of warm-started solves would depend on evaluation order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackThermal {
+    /// Ambient (heat-sink boundary) temperature, °C.
+    pub ambient_c: f64,
+    /// Peak-temperature rise per watt of per-core power, °C/W, indexed by
+    /// [`DesignPoint::stack_slot`] (planar 2D, TSV3D, M3D).
+    pub k_c_per_w: [f64; 3],
+}
+
+/// The per-stack thermal coefficients, computed once per process (three
+/// cold solves at the nominal core power, using the same floorplans and
+/// 0.55/0.45 power fold as the fig8 experiment and the feasibility check).
+pub fn stack_thermal() -> &'static StackThermal {
+    static CACHE: OnceLock<StackThermal> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let _span = m3d_obs::span("planner", "stack_thermal");
+        let tcfg = ThermalConfig::default();
+        let designs = crate::experiments::fig8_thermal::DesignModels::build(&tcfg);
+        let folded = vec![
+            designs.fp_3d.uniform_power(NOMINAL_CORE_W * 0.55),
+            designs.fp_3d.uniform_power(NOMINAL_CORE_W * 0.45),
+        ];
+        let peak = |model: &m3d_thermal::model::ThermalModel, powers: &[Vec<f64>]| {
+            let (sol, _) = model
+                .solve_from(powers, None)
+                .expect("uniform powers match the model floorplans");
+            sol.peak_c
+        };
+        let peaks = [
+            peak(&designs.base.0, &[designs.fp_2d.uniform_power(NOMINAL_CORE_W)]),
+            peak(&designs.tsv.0, &folded),
+            peak(&designs.het.0, &folded),
+        ];
+        StackThermal {
+            ambient_c: tcfg.ambient_c,
+            k_c_per_w: peaks.map(|p| (p - tcfg.ambient_c) / NOMINAL_CORE_W),
+        }
+    })
 }
 
 /// One design point's thermal-feasibility estimate.

@@ -25,7 +25,7 @@
 //! # let _ = (model, base);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod dvfs;

@@ -252,7 +252,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use core::ops::Range;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

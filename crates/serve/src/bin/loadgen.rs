@@ -23,6 +23,11 @@
 //! `--smoke` sends one `planner`, one `sim` and one `stats` query on one
 //! connection and exits non-zero unless all three answer `"ok":true` — a
 //! cheap CI health check.
+//!
+//! `--plan-smoke` sends one small streaming `plan` query (two designs, one
+//! application, a five-point supply grid, chunked so several partial lines
+//! must arrive) and exits non-zero unless at least one partial line and an
+//! `"ok":true` final line with a non-empty frontier come back.
 
 use m3d_core::report::Json;
 use m3d_serve::client::Client;
@@ -42,6 +47,7 @@ struct Args {
     warmup: u64,
     measure: u64,
     smoke: bool,
+    plan_smoke: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -53,6 +59,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         warmup: 3_000,
         measure: 2_000,
         smoke: false,
+        plan_smoke: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -74,6 +81,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         };
         if a == "--smoke" {
             args.smoke = true;
+        } else if a == "--plan-smoke" {
+            args.plan_smoke = true;
         } else if let Some(v) = flag_value("--addr")? {
             args.addr = v;
         } else if let Some(v) = flag_value("--conns")? {
@@ -146,6 +155,55 @@ fn smoke(args: &Args) -> i32 {
     0
 }
 
+/// One small streaming `plan` query: chunked at 4 over 10 candidates so
+/// the server must emit several partial lines before the final frontier.
+fn plan_smoke(args: &Args) -> i32 {
+    let mut client = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("[loadgen] connect {}: {e}", args.addr);
+            return 1;
+        }
+    };
+    let params = Json::obj([
+        (
+            "designs",
+            Json::Arr(vec![Json::from("Base"), Json::from("M3D-Het")]),
+        ),
+        ("apps", Json::Arr(vec![Json::from("Gcc")])),
+        (
+            "vdds",
+            Json::Arr([0.7, 0.75, 0.8, 0.85, 0.9].map(Json::from).to_vec()),
+        ),
+        ("warmup", Json::from(500u64)),
+        ("measure", Json::from(800u64)),
+        ("chunk", Json::from(4u64)),
+    ]);
+    let lines = match client.plan_lines(1, params, None) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("[loadgen] plan io error: {e}");
+            return 1;
+        }
+    };
+    let partials = lines.len() - 1;
+    let last = lines.last().expect("plan_lines returns at least one line");
+    let final_ok = Json::parse(last).ok().is_some_and(|v| {
+        is_ok(&v)
+            && v.get("result")
+                .and_then(|r| r.get("frontier"))
+                .is_some_and(|f| matches!(f, Json::Arr(a) if !a.is_empty()))
+    });
+    if partials == 0 || !final_ok {
+        eprintln!(
+            "[loadgen] plan failed: {partials} partial lines, final `{last}`"
+        );
+        return 1;
+    }
+    eprintln!("[loadgen] plan ok ({partials} partial lines)");
+    0
+}
+
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     if sorted_us.is_empty() {
         return 0.0;
@@ -162,13 +220,16 @@ fn main() {
             eprintln!("[loadgen] {e}");
             eprintln!(
                 "usage: loadgen --addr HOST:PORT [--conns N] [--requests N] \
-                 [--seeds N] [--warmup N] [--measure N] [--smoke]"
+                 [--seeds N] [--warmup N] [--measure N] [--smoke] [--plan-smoke]"
             );
             std::process::exit(2);
         }
     };
     if args.smoke {
         std::process::exit(smoke(&args));
+    }
+    if args.plan_smoke {
+        std::process::exit(plan_smoke(&args));
     }
     let t0 = Instant::now();
     let mut lat_us: Vec<f64> = Vec::new();

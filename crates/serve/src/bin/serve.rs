@@ -10,8 +10,11 @@
 //! Binds (default `127.0.0.1:0`, an ephemeral port), prints
 //! `[serve] listening on HOST:PORT` to stderr, and answers
 //! newline-delimited JSON requests (`sim`, `experiment`, `planner`,
-//! `stats` — see the `m3d_serve::protocol` rustdoc for the grammar) until
-//! SIGTERM or ctrl-c, then drains in-flight work and exits 0.
+//! `plan`, `stats` — see the `m3d_serve::protocol` rustdoc for the
+//! grammar) until SIGTERM or ctrl-c, then drains in-flight work and exits
+//! 0. `plan` requests stream partial frontier lines before their final
+//! response; in `--oneshot` mode those partials go to stdout exactly as
+//! the daemon would put them on the wire.
 //!
 //! # Flags
 //!
@@ -104,9 +107,12 @@ fn oneshot(quick: bool, jobs: usize) -> i32 {
         if line.trim().is_empty() {
             continue;
         }
-        let reply = engine.answer_line(&line);
-        if writeln!(out, "{reply}").and_then(|()| out.flush()).is_err() {
-            break;
+        // `plan` requests produce several lines (partials then the final
+        // answer); everything else produces exactly one.
+        for reply in engine.answer_lines(&line) {
+            if writeln!(out, "{reply}").and_then(|()| out.flush()).is_err() {
+                return 0;
+            }
         }
     }
     0

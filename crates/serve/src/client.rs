@@ -82,4 +82,26 @@ impl Client {
             )
         })
     }
+
+    /// Send one `plan` request and collect the whole stream: every partial
+    /// line plus the terminating line (the one without `"partial"`), in
+    /// arrival order. Assumes no other request is in flight on this
+    /// connection.
+    pub fn plan_lines(
+        &mut self,
+        id: i64,
+        params: Json,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<Vec<String>> {
+        self.send(id, Method::Plan, params, deadline_ms)?;
+        let mut lines = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            let done = !line.contains("\"partial\":true");
+            lines.push(line);
+            if done {
+                return Ok(lines);
+            }
+        }
+    }
 }

@@ -5,7 +5,8 @@
 //! paths run the same code over the same point list.
 
 use crate::protocol::{
-    ok_line, parse_request, ErrorKind, Method, Request, WireError, MAX_INTERVAL_UOPS, MAX_POINTS,
+    ok_line, parse_request, partial_line, ErrorKind, Method, Request, WireError,
+    MAX_INTERVAL_UOPS, MAX_POINTS,
 };
 use m3d_core::configs::{DesignPoint, MulticoreDesign};
 use m3d_core::experiments::registry::{
@@ -13,6 +14,9 @@ use m3d_core::experiments::registry::{
 };
 use m3d_core::experiments::RunScale;
 use m3d_core::report::{metrics_json, Json};
+use m3d_core::search::{
+    chunk_json, outcome_json, run_search, SearchError, SearchOptions, SearchSpace,
+};
 use m3d_uarch::batch::{result_cache_len, SimBatch, SimInterval, SimPoint};
 use m3d_uarch::SimError;
 use m3d_workloads::parallel::parallel_by_name;
@@ -22,12 +26,13 @@ use std::time::Instant;
 /// Every counter the server maintains. [`Engine::stats`] reports each of
 /// them unconditionally (zeros included), so monitoring clients can tell
 /// "never happened" apart from "not a counter".
-pub const SERVE_COUNTERS: [&str; 5] = [
+pub const SERVE_COUNTERS: [&str; 6] = [
     "serve.requests",
     "serve.coalesced",
     "serve.rejected",
     "serve.deadline_expired",
     "serve.errors",
+    "serve.plan_chunks",
 ];
 
 /// A parsed `sim` request: the point list plus the strictness flag.
@@ -225,6 +230,33 @@ impl Engine {
         self.ctx.space().to_json()
     }
 
+    /// Run a `plan` design-space search. `emit` receives one rendered
+    /// partial line (no trailing newline) per completed chunk — the
+    /// frontier over everything processed so far — and the return value is
+    /// the final outcome for the terminating response line. The emitted
+    /// sequence and the outcome are pure functions of the spec: identical
+    /// across worker counts and across the daemon and `--oneshot` paths.
+    pub fn plan(
+        &self,
+        id: i64,
+        params: &Json,
+        deadline: Option<Instant>,
+        mut emit: impl FnMut(&str),
+    ) -> Result<Json, WireError> {
+        let spec = SearchSpace::from_json(params).map_err(plan_error)?;
+        let opts = SearchOptions {
+            jobs: self.ctx.jobs(),
+            prune: true,
+            deadline,
+        };
+        run_search(self.ctx.space(), &spec, &opts, |chunk| {
+            m3d_obs::add("serve.plan_chunks", 1);
+            emit(&partial_line(id, chunk_json(chunk)));
+        })
+        .map(|out| outcome_json(&out))
+        .map_err(plan_error)
+    }
+
     /// A live metrics snapshot plus server-level gauges. The snapshot
     /// omits zero counters by design, but a monitoring client should see
     /// every `serve.*` counter unconditionally (a missing counter is
@@ -267,34 +299,70 @@ impl Engine {
                 self.experiment(&req.params)
             }
             Method::Planner => Ok(self.planner()),
+            // Partial chunks are dropped on this single-response path; use
+            // [`Engine::plan`] (or `answer_lines`) to observe the stream.
+            Method::Plan => self.plan(req.id, &req.params, deadline, |_| {}),
             Method::Stats => Ok(self.stats()),
         }
     }
 
-    /// Answer one raw request line with one response line (no trailing
-    /// newline). This is the whole `--oneshot` mode, and the reference the
-    /// concurrency tests compare server output against.
-    pub fn answer_line(&self, line: &str) -> String {
+    /// Answer one raw request line with every response line it produces
+    /// (no trailing newlines), in wire order. For `plan` that is zero or
+    /// more partial lines followed by the terminating line; for every
+    /// other method exactly one line. This is the whole `--oneshot` mode,
+    /// and the reference the concurrency tests compare server output
+    /// against.
+    pub fn answer_lines(&self, line: &str) -> Vec<String> {
         let started = Instant::now();
         let req = match parse_request(line) {
             Ok(r) => r,
             Err((id, e)) => {
                 m3d_obs::add("serve.errors", 1);
-                return crate::protocol::err_line(id, &e);
+                return vec![crate::protocol::err_line(id, &e)];
             }
         };
         m3d_obs::add("serve.requests", 1);
         let _span = m3d_obs::span("serve", req.method.name());
-        let out = match self.answer_request(&req) {
+        let mut out = Vec::new();
+        let result = if req.method == Method::Plan {
+            let deadline = req
+                .deadline_ms
+                .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+            self.plan(req.id, &req.params, deadline, |l| out.push(l.to_owned()))
+        } else {
+            self.answer_request(&req)
+        };
+        out.push(match result {
             Ok(result) => ok_line(req.id, result),
             Err(e) => {
                 m3d_obs::add("serve.errors", 1);
                 crate::protocol::err_line(Some(req.id), &e)
             }
-        };
+        });
         m3d_obs::record("serve.latency_us", started.elapsed().as_secs_f64() * 1e6);
         out
     }
+
+    /// Answer one raw request line with its single terminating response
+    /// line, discarding any `plan` partials (see [`Engine::answer_lines`]
+    /// for the streaming form).
+    pub fn answer_line(&self, line: &str) -> String {
+        self.answer_lines(line)
+            .pop()
+            .expect("every request produces a terminating line")
+    }
+}
+
+/// Map a search failure onto the wire error taxonomy: spec problems are
+/// the client's (`bad_request`), expired deadlines keep their kind, and
+/// simulator rejections are `invalid` like everywhere else.
+fn plan_error(e: SearchError) -> WireError {
+    let kind = match &e {
+        SearchError::Spec(_) => ErrorKind::BadRequest,
+        SearchError::Deadline => ErrorKind::Deadline,
+        SearchError::Sim(_) => ErrorKind::Invalid,
+    };
+    WireError::new(kind, e.to_string())
 }
 
 /// Render one `sim` request's results. Fails as a whole (never partially)

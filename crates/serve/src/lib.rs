@@ -17,6 +17,9 @@
 //! | `experiment` | any registry entry by name, as its schema-v2 JSON        |
 //! | `planner`    | the planned design space (Table 6/8 structures,          |
 //! |              | derived frequencies)                                     |
+//! | `plan`       | a Pareto design-space search                             |
+//! |              | ([`m3d_core::search`]), streaming partial frontiers as   |
+//! |              | it goes                                                  |
 //! | `stats`      | a live `m3d-obs` metrics snapshot + memo-cache size      |
 //!
 //! # Production shape
@@ -39,7 +42,102 @@
 //! The determinism contract of the batch engine carries over the wire: a
 //! `sim` response is a pure function of its own point list (never of what
 //! it was coalesced with), so concurrent and serial answers are
-//! byte-identical.
+//! byte-identical. The same holds for `plan`: the chunk boundaries and the
+//! final frontier are fixed by the spec, so the streamed lines are
+//! byte-identical at any `--jobs` and across the daemon and `--oneshot`
+//! paths.
+//!
+//! # Protocol reference
+//!
+//! One request per line, one (or for `plan`, several) response lines per
+//! request. Full grammar in the [`protocol`] module; this section is the
+//! operator's view, with every example runnable against
+//! `serve --oneshot --quick` (requests on stdin, responses on stdout — the
+//! same engine the daemon runs, minus TCP).
+//!
+//! ## `sim` — evaluate simulation points
+//!
+//! ```text
+//! $ echo '{"id":1,"method":"sim","params":{"app":"Gcc","design":"Base",
+//!   "seed":0,"warmup":3000,"measure":2000}}' | serve --oneshot --quick
+//! {"id":1,"ok":true,"result":{"points":[{"ipc":...,"cycles":...,...}]}}
+//! ```
+//!
+//! A `{"points":[...]}` list (up to [`protocol::MAX_POINTS`]) answers one
+//! result per point, in order. `"strict":true` turns livelock-capped
+//! points into a `cap_exhausted` error.
+//!
+//! ## `experiment` — run a registry entry
+//!
+//! ```text
+//! $ echo '{"id":2,"method":"experiment","params":{"name":"frontier"}}' \
+//!     | serve --oneshot --quick
+//! {"id":2,"ok":true,"result":{"schema":2,"name":"frontier",...}}
+//! ```
+//!
+//! ## `planner` — the planned design space (no parameters)
+//!
+//! ```text
+//! $ echo '{"id":3,"method":"planner"}' | serve --oneshot --quick
+//! {"id":3,"ok":true,"result":{"designs":[...],...}}
+//! ```
+//!
+//! ## `plan` — streaming Pareto design-space search
+//!
+//! Parameters are a search-space spec (grammar in `SEARCH.md` and
+//! [`m3d_core::search::SearchSpace::from_json`]). Each evaluated chunk
+//! streams a partial line; the final line (no `"partial"` key) carries the
+//! complete frontier:
+//!
+//! ```text
+//! $ echo '{"id":4,"method":"plan","params":{"apps":["Gcc"],
+//!   "vdds":[0.7,0.75,0.8],"warmup":500,"measure":800,"chunk":2}}' \
+//!     | serve --oneshot --quick
+//! {"id":4,"ok":true,"partial":true,"result":{"chunk":0,"done":2,"total":...}}
+//! {"id":4,"ok":true,"partial":true,"result":{"chunk":1,"done":4,...}}
+//! ...
+//! {"id":4,"ok":true,"result":{"frontier":[...],"candidates":...,...}}
+//! ```
+//!
+//! ## `stats` — live metrics snapshot (no parameters)
+//!
+//! ```text
+//! $ echo '{"id":5,"method":"stats"}' | serve --oneshot --quick
+//! {"id":5,"ok":true,"result":{"counters":{...},"memo_entries":...}}
+//! ```
+//!
+//! ## Error kinds
+//!
+//! Every failure is `{"id":...,"ok":false,"error":{"kind":...,"message":...}}`
+//! with one of ten kinds ([`protocol::ErrorKind`]):
+//!
+//! | kind             | meaning                                              |
+//! |------------------|------------------------------------------------------|
+//! | `parse`          | the line was not valid JSON (id `null` if unreadable)|
+//! | `bad_request`    | wrong request shape or parameters (incl. `plan` spec |
+//! |                  | violations: unknown fields, axis caps, vdd range)    |
+//! | `unknown_method` | not one of the five methods                          |
+//! | `oversized`      | line over [`protocol::MAX_LINE_BYTES`]; the reader   |
+//! |                  | resyncs at the next newline                          |
+//! | `overloaded`     | admission queue full — retry later (backpressure)    |
+//! | `deadline`       | `deadline_ms` expired before/while the work ran      |
+//! | `invalid`        | the simulator rejected the configuration             |
+//! | `cap_exhausted`  | a strict `sim` or an experiment hit the livelock cap |
+//! | `panic`          | the handler panicked (message attached); the server  |
+//! |                  | survives                                             |
+//! | `shutdown`       | draining after SIGTERM — no new work admitted        |
+//!
+//! ## Deadline and overload semantics
+//!
+//! `deadline_ms` is measured from receipt. Cheap methods (`planner`,
+//! `stats`) answer inline and ignore it. Queued work checks it before
+//! starting; a deadline-bearing `sim` runs alone (never coalesced) so its
+//! cancellation cannot take bystanders down; `plan` re-checks at every
+//! chunk boundary, so a timed-out search still streams the chunks it
+//! finished before failing with `deadline`. Memo-cache hits are served
+//! even past a deadline (they cost nothing). The admission queue is
+//! bounded (`--queue-cap`); a full queue answers `overloaded` immediately
+//! rather than buffering, and a draining server answers `shutdown`.
 //!
 //! [`SimBatch`]: m3d_uarch::batch::SimBatch
 

@@ -6,7 +6,7 @@
 //! never contains a raw newline). Requests:
 //!
 //! ```text
-//! {"id": <int>, "method": "sim"|"experiment"|"planner"|"stats",
+//! {"id": <int>, "method": "sim"|"experiment"|"planner"|"plan"|"stats",
 //!  "params": <object>, "deadline_ms": <int, optional>}
 //! ```
 //!
@@ -20,6 +20,18 @@
 //!
 //! Responses to pipelined requests may arrive out of order; clients match
 //! on `id`.
+//!
+//! The `plan` method additionally streams zero or more *partial* lines
+//! before its final response, each echoing the id and flagged explicitly:
+//!
+//! ```text
+//! {"id": <int>, "ok": true, "partial": true, "result": <chunk>}
+//! ```
+//!
+//! A response line without `"partial"` terminates the stream (either the
+//! final `ok` result or an error). Partial lines for one id always arrive
+//! in order; lines for *different* ids may interleave when requests are
+//! pipelined.
 //!
 //! # `sim` params
 //!
@@ -66,6 +78,8 @@ pub enum Method {
     Experiment,
     /// Return the planned design space.
     Planner,
+    /// Run a Pareto design-space search, streaming partial frontiers.
+    Plan,
     /// Return a live metrics snapshot.
     Stats,
 }
@@ -77,6 +91,7 @@ impl Method {
             "sim" => Some(Method::Sim),
             "experiment" => Some(Method::Experiment),
             "planner" => Some(Method::Planner),
+            "plan" => Some(Method::Plan),
             "stats" => Some(Method::Stats),
             _ => None,
         }
@@ -88,6 +103,7 @@ impl Method {
             Method::Sim => "sim",
             Method::Experiment => "experiment",
             Method::Planner => "planner",
+            Method::Plan => "plan",
             Method::Stats => "stats",
         }
     }
@@ -100,7 +116,7 @@ pub enum ErrorKind {
     Parse,
     /// The request shape or parameters were wrong.
     BadRequest,
-    /// The method name is not one of the four served.
+    /// The method name is not one of the five served.
     UnknownMethod,
     /// The request line exceeded [`MAX_LINE_BYTES`].
     Oversized,
@@ -251,6 +267,19 @@ pub fn ok_line(id: i64, result: Json) -> String {
     Json::obj([
         ("id", Json::from(id)),
         ("ok", Json::from(true)),
+        ("result", result),
+    ])
+    .render_compact()
+}
+
+/// Render a `plan` partial-result line (no trailing newline): like
+/// [`ok_line`] but flagged `"partial": true`. Clients read lines for the
+/// id until one arrives without the flag.
+pub fn partial_line(id: i64, result: Json) -> String {
+    Json::obj([
+        ("id", Json::from(id)),
+        ("ok", Json::from(true)),
+        ("partial", Json::from(true)),
         ("result", result),
     ])
     .render_compact()

@@ -7,8 +7,12 @@
 //!   the shutdown flag.
 //! * Each connection gets a reader thread. Cheap read-only methods
 //!   (`planner`, `stats`) are answered inline on it; heavy work (`sim`,
-//!   `experiment`) is pushed through the bounded [`Queue`] — a full queue
-//!   answers `overloaded` immediately (backpressure, never buffering).
+//!   `experiment`, `plan`) is pushed through the bounded admission queue —
+//!   a full
+//!   queue answers `overloaded` immediately (backpressure, never
+//!   buffering). A `plan` worker streams partial frontier lines through the
+//!   connection's writer while it runs; its final line terminates the
+//!   stream.
 //! * A fixed worker pool drains the queue. A worker that pops a
 //!   deadline-free `sim` request also drains every other queued
 //!   deadline-free `sim` request and submits them as **one** batch:
@@ -109,6 +113,17 @@ struct ExpWork {
     reply: Arc<ConnWriter>,
 }
 
+/// One queued `plan` request. Unlike the other work kinds it writes to its
+/// connection *while running*: each frontier chunk goes out as a partial
+/// line through the shared [`ConnWriter`] before the final result.
+struct PlanWork {
+    id: i64,
+    params: Json,
+    deadline: Option<Instant>,
+    received: Instant,
+    reply: Arc<ConnWriter>,
+}
+
 enum Work {
     /// Deadline-free `sim`: eligible for coalescing.
     Sim(SimWork),
@@ -116,6 +131,8 @@ enum Work {
     SimDeadline(SimWork, Instant),
     /// `experiment`.
     Experiment(ExpWork),
+    /// `plan`: a streaming design-space search; never coalesced.
+    Plan(PlanWork),
 }
 
 impl Work {
@@ -124,6 +141,7 @@ impl Work {
         match self {
             Work::Sim(w) | Work::SimDeadline(w, _) => send_result(&w.reply, w.id, w.received, Err(e)),
             Work::Experiment(w) => send_result(&w.reply, w.id, w.received, Err(e)),
+            Work::Plan(w) => send_result(&w.reply, w.id, w.received, Err(e)),
         }
     }
 }
@@ -441,6 +459,26 @@ fn worker_loop(state: &ServerState) {
                 };
                 send_result(&w.reply, w.id, w.received, r);
             }
+            Batch::One(Work::Plan(w)) => {
+                let _span = m3d_obs::span("serve", "plan");
+                let r = if w.deadline.is_some_and(|d| Instant::now() >= d) {
+                    Err(WireError::new(
+                        ErrorKind::Deadline,
+                        "deadline expired before the search started",
+                    ))
+                } else {
+                    // Partials go straight out on the connection as they
+                    // are produced; the final line still flows through
+                    // `send_result` for the counters and latency record.
+                    catch_unwind(AssertUnwindSafe(|| {
+                        state.engine.plan(w.id, &w.params, w.deadline, |line| {
+                            w.reply.send(line);
+                        })
+                    }))
+                    .unwrap_or_else(|p| Err(WireError::new(ErrorKind::Panic, panic_text(p))))
+                };
+                send_result(&w.reply, w.id, w.received, r);
+            }
         }
     }
 }
@@ -584,6 +622,19 @@ fn process_line(line: &str, writer: &Arc<ConnWriter>, state: &Arc<ServerState>) 
             };
             writer.pending.fetch_add(1, Ordering::AcqRel);
             if let Err((work, e)) = state.queue.push(Work::Experiment(w)) {
+                work.fail(e);
+            }
+        }
+        Method::Plan => {
+            let w = PlanWork {
+                id: req.id,
+                params: req.params.clone(),
+                deadline,
+                received,
+                reply: Arc::clone(writer),
+            };
+            writer.pending.fetch_add(1, Ordering::AcqRel);
+            if let Err((work, e)) = state.queue.push(Work::Plan(w)) {
                 work.fail(e);
             }
         }

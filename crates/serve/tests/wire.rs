@@ -183,6 +183,130 @@ fn concurrent_connections_match_serial_answers_byte_for_byte() {
     handle.shutdown();
 }
 
+/// A small plan spec: 2 designs x 5 vdds x 1 app = 10 candidates, chunked
+/// at 4 so the stream must carry several partial lines.
+fn small_plan_params() -> Json {
+    Json::obj([
+        (
+            "designs",
+            Json::arr([Json::from("Base"), Json::from("M3D-Het")]),
+        ),
+        ("apps", Json::arr([Json::from("Gcc")])),
+        (
+            "vdds",
+            Json::Arr([0.7, 0.75, 0.8, 0.85, 0.9].map(Json::from).to_vec()),
+        ),
+        ("warmup", Json::from(500u64)),
+        ("measure", Json::from(800u64)),
+        ("chunk", Json::from(4u64)),
+    ])
+}
+
+#[test]
+fn streamed_plan_matches_oneshot_byte_for_byte() {
+    let line = request_line(55, Method::Plan, small_plan_params(), None);
+    // The serial engine's `answer_lines` is the oneshot code path: partials
+    // first, final line last.
+    let engine = Engine::new(true, 1).expect("engine");
+    let expected = engine.answer_lines(&line);
+    assert!(expected.len() > 2, "expected several partial lines");
+    assert!(
+        expected.last().expect("final line").contains(r#""ok":true"#),
+        "{expected:?}"
+    );
+    for partial in &expected[..expected.len() - 1] {
+        assert!(partial.contains(r#""partial":true"#), "{partial}");
+    }
+
+    let (addr, handle) = start(8);
+    let mut c = Client::connect(&addr).expect("connect");
+    let streamed = c
+        .plan_lines(55, small_plan_params(), None)
+        .expect("plan stream");
+    assert_eq!(streamed, expected, "TCP stream diverged from oneshot");
+    handle.shutdown();
+}
+
+#[test]
+fn thousand_candidate_plan_streams_partials_and_is_jobs_invariant() {
+    // 6 designs x 10 vdds x 17 apps = 1020 candidates. The four grid
+    // points above the 0.8 V clamp prune before simulation, so the run
+    // stays cheap at this tiny interval.
+    let apps = [
+        "Astar", "Bzip2", "Gcc", "Gobmk", "Hmmer", "Lbm", "Libquantum", "Mcf", "Milc", "Namd",
+        "Omnetpp", "Povray", "Sjeng", "Soplex", "Xalancbmk", "H264Ref", "Gromacs",
+    ];
+    let params = Json::obj([
+        ("apps", Json::Arr(apps.map(Json::from).to_vec())),
+        (
+            "vdds",
+            Json::Arr(
+                (0..10)
+                    .map(|i| Json::from(0.55 + 0.05 * i as f64))
+                    .collect(),
+            ),
+        ),
+        ("warmup", Json::from(100u64)),
+        ("measure", Json::from(150u64)),
+        ("chunk", Json::from(128u64)),
+    ]);
+    let line = request_line(91, Method::Plan, params.clone(), None);
+
+    let engine = Engine::new(true, 1).expect("engine");
+    let expected = engine.answer_lines(&line);
+    let last = Json::parse(expected.last().expect("final line")).expect("parses");
+    assert_eq!(last.get("ok"), Some(&Json::Bool(true)));
+    let result = last.get("result").expect("result");
+    assert_eq!(result.get("candidates"), Some(&Json::Int(1020)));
+    assert!(expected.len() > 1, "a 1020-candidate plan must stream");
+
+    // The server runs the same spec at jobs=4: every line must still match
+    // the serial answer byte for byte.
+    let server = Server::bind(ServerConfig {
+        quick: true,
+        jobs: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.spawn();
+    let mut c = Client::connect(&addr).expect("connect");
+    let streamed = c.plan_lines(91, params, None).expect("plan stream");
+    assert_eq!(streamed, expected, "jobs=4 stream diverged from jobs=1");
+    handle.shutdown();
+}
+
+#[test]
+fn bad_plan_specs_answer_bad_request() {
+    let (addr, handle) = start(8);
+    let mut c = Client::connect(&addr).expect("connect");
+    // Missing `vdds` (required axis).
+    let j = c
+        .request(
+            61,
+            Method::Plan,
+            Json::obj([("apps", Json::arr([Json::from("Gcc")]))]),
+            None,
+        )
+        .expect("reply");
+    assert_eq!(error_kind(&j).as_deref(), Some("bad_request"));
+    // Unknown field.
+    let j = c
+        .request(
+            62,
+            Method::Plan,
+            Json::obj([
+                ("apps", Json::arr([Json::from("Gcc")])),
+                ("vdds", Json::arr([Json::from(0.8)])),
+                ("frobnicate", Json::from(1i64)),
+            ]),
+            None,
+        )
+        .expect("reply");
+    assert_eq!(error_kind(&j).as_deref(), Some("bad_request"));
+    handle.shutdown();
+}
+
 #[test]
 fn pipelined_requests_are_all_answered_and_shutdown_closes_cleanly() {
     let (addr, handle) = start(64);

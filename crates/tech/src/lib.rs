@@ -31,7 +31,7 @@
 //! assert!(miv.occupied_area_um2() * 1000.0 < tsv.occupied_area_um2());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod layers;

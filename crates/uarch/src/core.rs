@@ -9,7 +9,7 @@
 //!
 //! # Hot-loop layout
 //!
-//! The reorder buffer is a structure-of-arrays ring ([`RobSoa`]): one flat
+//! The reorder buffer is a structure-of-arrays ring (`RobSoa`): one flat
 //! array per field, indexed by slot, so the issue scan walks a handful of
 //! dense `u64` arrays instead of chasing `VecDeque` entries. Slots are
 //! generation-tagged: a dependency is the packed pair `(generation, slot)`,

@@ -29,7 +29,7 @@
 //! assert!(op.kind.is_valid());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod gen;
