@@ -63,6 +63,21 @@ SERVE_ADDR=$(cat "$SERVE_PORT_FILE")
   kill -9 "$SERVE_PID" 2>/dev/null || true
   exit 1
 }
+# A small telemetry-reporting load run against the same warm daemon: the
+# summary must carry the server-side percentiles pulled from the daemon's
+# `telemetry` method (rolling 60 s window), proving the windowed
+# histograms are live under real traffic.
+LOADGEN_OUT=$(./target/release/loadgen --addr "$SERVE_ADDR" --conns 2 --requests 10 --telemetry) || {
+  echo "ci.sh: telemetry load run failed" >&2
+  kill -9 "$SERVE_PID" 2>/dev/null || true
+  exit 1
+}
+echo "$LOADGEN_OUT"
+echo "$LOADGEN_OUT" | grep -q '"server_p99_us"' || {
+  echo "ci.sh: loadgen --telemetry summary lacks server-side p99" >&2
+  kill -9 "$SERVE_PID" 2>/dev/null || true
+  exit 1
+}
 kill -TERM "$SERVE_PID"
 SERVE_RC=0
 wait "$SERVE_PID" || SERVE_RC=$?
@@ -75,7 +90,10 @@ rm -f "$SERVE_PORT_FILE"
 echo "== perf_baseline --check (counter-drift gate) =="
 # Deterministic integer counters (solver sweeps, warm-start hits, search
 # candidates, µops, batch-engine points/hits/reuses/cycles) must match the
-# committed baseline exactly; wall times are informational. Refresh
+# committed baseline exactly; wall times are informational. The check also
+# re-runs the obs-overhead probe with every live record site (including
+# the serve telemetry windows) and fails if instrumentation costs more
+# than OBS_OVERHEAD_BUDGET_PCT (2%) on the probe solve. Refresh
 # intentional changes with:
 #   ./target/release/perf_baseline --write BENCH_repro.json
 ./target/release/perf_baseline --check BENCH_repro.json
@@ -99,6 +117,14 @@ grep -q '"serve_probe"' BENCH_repro.json || {
 }
 grep -q '"serve\.' BENCH_repro.json || {
   echo "ci.sh: BENCH_repro.json lacks the serve.* request counters" >&2
+  exit 1
+}
+grep -q '"serve.requests.sim"' BENCH_repro.json || {
+  echo "ci.sh: BENCH_repro.json lacks the per-method serve request counters" >&2
+  exit 1
+}
+grep -q '"serve.write_errors"' BENCH_repro.json || {
+  echo "ci.sh: BENCH_repro.json lacks the serve.write_errors counter" >&2
   exit 1
 }
 grep -q '"search_probe"' BENCH_repro.json || {

@@ -280,6 +280,7 @@ mod tests {
                 min: 1.0e-5,
                 max: 2.0e-5,
                 buckets: vec![(-17, 2)],
+                exact: vec![],
             }],
         };
         let mut o = outcome("table1", 0.0, 0.5, true);

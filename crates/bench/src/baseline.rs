@@ -9,9 +9,14 @@
 //! bit-identical arithmetic at any thread count, and the measured subset
 //! below avoids the one schedule-*dependent* experiment family (the fig8
 //! warm-start chains fan out over `available_parallelism`, so their
-//! iteration counts legitimately differ across machines). Wall times and
-//! the overhead probe are recorded for trend-watching but never gated —
-//! they depend on the machine running CI.
+//! iteration counts legitimately differ across machines). Wall times are
+//! recorded for trend-watching but never gated — they depend on the
+//! machine running CI. The overhead probe is the one *relative* wall-time
+//! quantity that is gated: enabled-vs-disabled solves run interleaved on
+//! the same machine in the same process, so their ratio cancels the
+//! machine out, and it must stay under [`OBS_OVERHEAD_BUDGET_PCT`] — the
+//! promise that observability (now including the windowed telemetry
+//! record sites) stays effectively free.
 //!
 //! The measurement always runs at `--quick` scale with one worker, so the
 //! design-space `OnceLock` is computed by the same experiment every time
@@ -560,11 +565,21 @@ pub fn baseline_from_json(j: &Json) -> Result<Baseline, String> {
 /// lost), so CI machine noise and neighbour load cannot trip it.
 pub const CYCLE_THROUGHPUT_BUDGET: f64 = 0.30;
 
+/// Ceiling on the instrumentation-overhead probe, percent. The probe is a
+/// same-process enabled/disabled ratio (machine speed cancels out), so
+/// unlike raw wall times it *is* gated: a run whose `overhead_pct` lands
+/// above this budget means a metrics/telemetry record site got expensive
+/// enough to tax the hot solver loop, which is a regression regardless of
+/// the machine.
+pub const OBS_OVERHEAD_BUDGET_PCT: f64 = 2.0;
+
 /// Compare `current` against `committed` and list every counter drift (an
-/// empty vector means the gate passes). Wall times and the overhead probe
-/// are not compared, with two exceptions: the cycle probe's simulated
-/// cycle count is gated exactly (it is deterministic), and its throughput
-/// must stay within [`CYCLE_THROUGHPUT_BUDGET`] of the committed value.
+/// empty vector means the gate passes). Wall times are not compared, with
+/// three exceptions: the cycle probe's simulated cycle count is gated
+/// exactly (it is deterministic), its throughput must stay within
+/// [`CYCLE_THROUGHPUT_BUDGET`] of the committed value, and the current
+/// run's instrumentation overhead must stay under
+/// [`OBS_OVERHEAD_BUDGET_PCT`] (a ratio, so machine-independent).
 pub fn drift(committed: &Baseline, current: &Baseline) -> Vec<String> {
     let mut drifts = Vec::new();
     for cur in &current.experiments {
@@ -606,6 +621,13 @@ pub fn drift(committed: &Baseline, current: &Baseline) -> Vec<String> {
              {now:.0} cycles/s vs {was:.0} committed \
              (floor {:.0} = {CYCLE_THROUGHPUT_BUDGET} x committed)",
             was * CYCLE_THROUGHPUT_BUDGET
+        ));
+    }
+    let overhead = current.overhead_pct();
+    if overhead > OBS_OVERHEAD_BUDGET_PCT {
+        drifts.push(format!(
+            "obs_overhead: instrumentation costs {overhead:.2}% on the probe solve, \
+             over the {OBS_OVERHEAD_BUDGET_PCT}% budget"
         ));
     }
     for (name, was, now) in [
@@ -694,10 +716,33 @@ mod tests {
         let committed = fake_baseline();
         let mut current = fake_baseline();
         current.experiments[0].wall_s *= 100.0;
+        // A uniformly slower machine leaves the overhead *ratio* alone —
+        // both solve sides scale together, so nothing drifts.
         current.solve_enabled_s *= 100.0;
+        current.solve_disabled_s *= 100.0;
         // Within the generous budget: 2x slower cycle probe is noise.
         current.cycle_wall_s *= 2.0;
         assert!(drift(&committed, &current).is_empty());
+    }
+
+    #[test]
+    fn overhead_over_budget_drifts_regardless_of_the_committed_value() {
+        let committed = fake_baseline();
+        // The fake baseline's probe sits at 1%: inside the 2% budget.
+        assert!(committed.overhead_pct() < OBS_OVERHEAD_BUDGET_PCT);
+
+        let mut taxed = fake_baseline();
+        taxed.solve_enabled_s = taxed.solve_disabled_s * 1.05; // 5% overhead
+        let d = drift(&committed, &taxed);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("obs_overhead"), "{d:?}");
+        assert!(d[0].contains("budget"), "{d:?}");
+
+        // Noise-dominated probes (enabled faster than disabled) read as
+        // negative overhead and never drift.
+        let mut noisy = fake_baseline();
+        noisy.solve_enabled_s = noisy.solve_disabled_s * 0.98;
+        assert!(drift(&committed, &noisy).is_empty());
     }
 
     #[test]

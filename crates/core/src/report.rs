@@ -597,6 +597,7 @@ pub fn metrics_from_json(j: &Json) -> Result<m3d_obs::MetricsSnapshot, String> {
                 min: as_f64(field("min")?)?,
                 max: as_f64(field("max")?)?,
                 buckets,
+                exact: Vec::new(),
             });
         }
     }
@@ -812,6 +813,7 @@ mod tests {
                 min: 0.5e-5,
                 max: 2.0e-5,
                 buckets: vec![(-18, 2), (-16, 1)],
+                exact: vec![],
             }],
         };
         let j = metrics_json(&snap);
@@ -831,6 +833,7 @@ mod tests {
                 min: 0.5,
                 max: 1.5,
                 buckets: vec![(-1, 1), (0, 1)],
+                exact: vec![],
             }],
         };
         let text = metrics_text(&snap);

@@ -15,6 +15,18 @@
 //!   simulated — snapshotted into a [`MetricsSnapshot`] either globally
 //!   ([`snapshot`]) or attributed to one experiment via [`TaskMetrics`].
 //!
+//! For *live* serving telemetry (rolling windows rather than
+//! process-lifetime totals) the crate additionally offers:
+//!
+//! * **Quantiles** — [`HistogramSnapshot::quantile`] estimates
+//!   p50/p90/p95/p99 from the log₂ buckets (within a factor of 2, exact
+//!   below [`EXACT_QUANTILE_CAP`] samples).
+//! * **[`WindowedHistogram`]** — a ring of fixed-duration slabs driven by
+//!   the caller's clock (no background thread; deterministic under test
+//!   via injected ticks) merged on read into rolling 1 s/10 s/60 s views.
+//! * **[`FlightRecorder`]** — a bounded, lock-sharded drop-oldest ring of
+//!   structured per-request [`FlightRecord`]s with an eviction counter.
+//!
 //! # Zero cost when off
 //!
 //! Collection is disabled by default. Every entry point begins with one
@@ -36,13 +48,17 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod flight;
 mod metrics;
 mod trace;
+mod window;
 
+pub use flight::{FlightRecord, FlightRecorder};
 pub use metrics::{
     add, current_task, record, snapshot, HistogramSnapshot, MetricsSnapshot, TaskGuard,
-    TaskMetrics,
+    TaskMetrics, EXACT_QUANTILE_CAP,
 };
+pub use window::WindowedHistogram;
 pub use trace::{
     chrome_trace_json, label_thread, span, span_named, take_trace, write_chrome_trace,
     SpanGuard, TraceEvent, TracePhase,

@@ -5,6 +5,12 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+/// While a histogram holds at most this many values, the raw samples are
+/// retained alongside the buckets so quantile queries are **exact**.
+/// Beyond the cap the sample buffer is dropped (bounding memory) and
+/// quantiles fall back to the log₂-bucket estimate.
+pub const EXACT_QUANTILE_CAP: usize = 64;
+
 /// A log₂-bucketed histogram: values are folded into buckets keyed by
 /// `value.log2().floor()` (clamped), which covers the whole positive f64
 /// range in ~2100 sparse buckets while keeping residuals around `1e-5` and
@@ -16,6 +22,8 @@ pub(crate) struct Histogram {
     min: f64,
     max: f64,
     buckets: BTreeMap<i32, u64>,
+    /// Raw samples, kept only while `count <= EXACT_QUANTILE_CAP`.
+    exact: Vec<f64>,
 }
 
 /// The log₂ bucket a value falls into. Non-finite and non-positive values
@@ -30,7 +38,7 @@ fn bucket_of(value: f64) -> i32 {
 }
 
 impl Histogram {
-    fn record(&mut self, value: f64) {
+    pub(crate) fn record(&mut self, value: f64) {
         if self.count == 0 {
             self.min = value;
             self.max = value;
@@ -41,9 +49,44 @@ impl Histogram {
         self.count += 1;
         self.sum += value;
         *self.buckets.entry(bucket_of(value)).or_insert(0) += 1;
+        if self.count <= EXACT_QUANTILE_CAP as u64 {
+            self.exact.push(value);
+        } else if !self.exact.is_empty() {
+            self.exact = Vec::new();
+        }
     }
 
-    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+    /// Fold `other` into `self` — the [`WindowedHistogram`] read path.
+    /// The exact-sample buffer survives only when both sides still hold
+    /// their full sample sets and the union stays under the cap.
+    ///
+    /// [`WindowedHistogram`]: crate::WindowedHistogram
+    pub(crate) fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        if self.exact.len() as u64 == self.count
+            && other.exact.len() as u64 == other.count
+            && self.count + other.count <= EXACT_QUANTILE_CAP as u64
+        {
+            self.exact.extend_from_slice(&other.exact);
+        } else {
+            self.exact = Vec::new();
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, c) in &other.buckets {
+            *self.buckets.entry(*b).or_insert(0) += c;
+        }
+    }
+
+    pub(crate) fn snapshot(&self, name: &str) -> HistogramSnapshot {
         HistogramSnapshot {
             name: name.to_owned(),
             count: self.count,
@@ -51,6 +94,7 @@ impl Histogram {
             min: self.min,
             max: self.max,
             buckets: self.buckets.iter().map(|(b, c)| (*b, *c)).collect(),
+            exact: self.exact.clone(),
         }
     }
 }
@@ -70,6 +114,10 @@ pub struct HistogramSnapshot {
     pub max: f64,
     /// Sparse `(log2 bucket, count)` pairs, ascending by bucket.
     pub buckets: Vec<(i32, u64)>,
+    /// Raw samples, populated only while `count <=`
+    /// [`EXACT_QUANTILE_CAP`] (empty beyond, and empty after a JSON
+    /// round-trip — the buffer is in-process fidelity, never serialized).
+    pub exact: Vec<f64>,
 }
 
 impl HistogramSnapshot {
@@ -80,6 +128,46 @@ impl HistogramSnapshot {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Estimate the `q`-quantile (`q` clamped to `0.0..=1.0`) of the
+    /// recorded values; 0.0 when empty.
+    ///
+    /// **Exact** (nearest-rank over the retained raw samples) while the
+    /// histogram holds at most [`EXACT_QUANTILE_CAP`] values. Beyond
+    /// that, the estimate comes from the log₂ buckets: the true quantile
+    /// lies somewhere in the same `[2^b, 2^{b+1})` bucket as the
+    /// estimate, so the result is within a **factor of 2** of the true
+    /// value (log-midpoint interpolation inside the bucket), and
+    /// clamping to the recorded `min`/`max` keeps the extreme quantiles
+    /// tight. Non-positive and non-finite samples live in a sentinel
+    /// bucket below every real one; a quantile landing there answers the
+    /// recorded minimum.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if self.exact.len() as u64 == self.count {
+            let mut sorted = self.exact.clone();
+            sorted.sort_by(f64::total_cmp);
+            return sorted[(rank - 1) as usize];
+        }
+        let mut below = 0u64;
+        for (b, c) in &self.buckets {
+            if below + c >= rank {
+                if *b == i32::MIN {
+                    return self.min;
+                }
+                let lo = (*b as f64).exp2();
+                let pos = (rank - below) as f64 - 0.5;
+                let est = lo * (pos / *c as f64).exp2();
+                return est.max(self.min).min(self.max);
+            }
+            below += c;
+        }
+        self.max
     }
 }
 
@@ -133,6 +221,14 @@ impl MetricsSnapshot {
                     }
                     if h.count == 0 {
                         continue;
+                    }
+                    if mine.exact.len() as u64 == mine.count
+                        && h.exact.len() as u64 == h.count
+                        && mine.count + h.count <= EXACT_QUANTILE_CAP as u64
+                    {
+                        mine.exact.extend_from_slice(&h.exact);
+                    } else {
+                        mine.exact = Vec::new();
                     }
                     mine.count += h.count;
                     mine.sum += h.sum;
@@ -507,6 +603,79 @@ mod tests {
         assert_eq!(names, sorted);
         assert_eq!(snap.counter("test.sort.zero"), None);
         crate::disable();
+    }
+
+    #[test]
+    fn quantiles_are_exact_below_the_cap() {
+        let mut h = Histogram::default();
+        for v in 1..=50u32 {
+            h.record(v as f64);
+        }
+        let snap = h.snapshot("q");
+        assert_eq!(snap.exact.len(), 50);
+        assert_eq!(snap.quantile(0.0), 1.0);
+        assert_eq!(snap.quantile(0.5), 25.0);
+        assert_eq!(snap.quantile(0.9), 45.0);
+        assert_eq!(snap.quantile(1.0), 50.0);
+        // Out-of-range q clamps.
+        assert_eq!(snap.quantile(7.0), 50.0);
+        assert_eq!(Histogram::default().snapshot("e").quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_above_the_cap_stay_within_a_factor_of_two() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u32 {
+            h.record(v as f64);
+        }
+        let snap = h.snapshot("q");
+        assert!(snap.exact.is_empty(), "cap must drop the raw samples");
+        for (q, truth) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let est = snap.quantile(q);
+            assert!(
+                est >= truth / 2.0 && est <= truth * 2.0,
+                "q={q}: est {est} vs true {truth}"
+            );
+        }
+        // Extremes clamp to the recorded range.
+        assert_eq!(snap.quantile(1.0), 1000.0);
+        assert!(snap.quantile(0.001) >= 1.0);
+    }
+
+    #[test]
+    fn quantile_sentinel_bucket_answers_the_minimum() {
+        let mut h = Histogram::default();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(8.0);
+        let snap = h.snapshot("q");
+        // rank 1 and 2 land in the sentinel bucket.
+        assert_eq!(snap.quantile(0.3), -3.0);
+        assert_eq!(snap.quantile(1.0), 8.0);
+    }
+
+    #[test]
+    fn histogram_merge_preserves_small_exact_sets_and_drops_large_ones() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [1.0, 2.0, 3.0] {
+            a.record(v);
+        }
+        for v in [10.0, 20.0] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, 5);
+        assert_eq!(a.exact.len(), 5);
+        assert_eq!(a.snapshot("m").quantile(1.0), 20.0);
+
+        let mut big = Histogram::default();
+        for v in 0..EXACT_QUANTILE_CAP {
+            big.record(v as f64 + 1.0);
+        }
+        a.merge(&big);
+        assert_eq!(a.count, 5 + EXACT_QUANTILE_CAP as u64);
+        assert!(a.exact.is_empty(), "union over the cap drops samples");
     }
 
     #[test]

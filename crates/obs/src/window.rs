@@ -1,0 +1,180 @@
+//! Rolling-window histograms: a ring of fixed-duration log₂-bucket slabs
+//! driven entirely by the caller's clock.
+//!
+//! A [`WindowedHistogram`] never spawns a thread and never reads the wall
+//! clock itself — every call takes `now_us`, microseconds on whatever
+//! monotonic timeline the caller owns (a daemon passes
+//! `Instant::elapsed()` from its start; a test passes hand-picked ticks,
+//! making expiry fully deterministic). Each recorded value lands in the
+//! slab covering `now_us`; reads merge the slabs overlapping the
+//! requested trailing window into one [`HistogramSnapshot`], so rolling
+//! 1 s / 10 s / 60 s views come from the same ring with no per-window
+//! bookkeeping on the write path.
+
+use crate::metrics::{Histogram, HistogramSnapshot};
+
+/// Sentinel epoch marking a slab that has never been written.
+const UNUSED: u64 = u64::MAX;
+
+/// One slab: the histogram for a single `[epoch*slab_us, (epoch+1)*slab_us)`
+/// interval of the caller's timeline.
+#[derive(Debug, Clone)]
+struct Slab {
+    /// Slab index on the caller's timeline (`now_us / slab_us`), or
+    /// [`UNUSED`].
+    epoch: u64,
+    hist: Histogram,
+}
+
+/// A ring of `B` fixed-duration log₂-bucket histogram slabs.
+///
+/// Writes are O(1): pick the slab for `now_us`, lazily resetting it when
+/// the ring has wrapped past its previous occupant (drop-oldest, so the
+/// ring covers exactly the trailing `slabs * slab_us` microseconds).
+/// Reads ([`merged`](Self::merged)) fold the live slabs inside the
+/// requested window via the histogram merge path, preserving exact
+/// quantiles while the window holds few samples.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    slab_us: u64,
+    slabs: Vec<Slab>,
+}
+
+impl WindowedHistogram {
+    /// A ring of `slabs` slabs, each covering `slab_us` microseconds.
+    ///
+    /// # Panics
+    /// When `slab_us == 0` or `slabs == 0`.
+    pub fn new(slab_us: u64, slabs: usize) -> Self {
+        assert!(slab_us > 0, "slab duration must be positive");
+        assert!(slabs > 0, "ring needs at least one slab");
+        Self {
+            slab_us,
+            slabs: vec![
+                Slab {
+                    epoch: UNUSED,
+                    hist: Histogram::default(),
+                };
+                slabs
+            ],
+        }
+    }
+
+    /// Duration of one slab in microseconds.
+    pub fn slab_us(&self) -> u64 {
+        self.slab_us
+    }
+
+    /// Total timeline coverage of the ring in microseconds — the longest
+    /// window [`merged`](Self::merged) can answer without truncation.
+    pub fn span_us(&self) -> u64 {
+        self.slab_us * self.slabs.len() as u64
+    }
+
+    /// Record `value` into the slab covering `now_us`. Reuses (resets) the
+    /// ring position if its occupant belongs to an older epoch.
+    pub fn record(&mut self, now_us: u64, value: f64) {
+        let epoch = now_us / self.slab_us;
+        let pos = (epoch % self.slabs.len() as u64) as usize;
+        let slab = &mut self.slabs[pos];
+        if slab.epoch != epoch {
+            slab.epoch = epoch;
+            slab.hist = Histogram::default();
+        }
+        slab.hist.record(value);
+    }
+
+    /// Merge every slab overlapping the trailing `window_us` microseconds
+    /// ending at `now_us` into one snapshot named `name`.
+    ///
+    /// A slab counts when its epoch lies in
+    /// `[(now_us - window_us)/slab_us, now_us/slab_us]` — i.e. partial
+    /// slabs at both window edges are included whole, so a window may see
+    /// up to one slab-duration of extra history (the usual slab-ring
+    /// rounding; with 250 ms slabs a "1 s" view spans at most 1.25 s).
+    /// Windows longer than [`span_us`](Self::span_us) truncate to the
+    /// ring's coverage.
+    pub fn merged(&self, name: &str, now_us: u64, window_us: u64) -> HistogramSnapshot {
+        let hi = now_us / self.slab_us;
+        let lo = now_us.saturating_sub(window_us) / self.slab_us;
+        let mut folded = Histogram::default();
+        for slab in &self.slabs {
+            if slab.epoch != UNUSED && slab.epoch >= lo && slab.epoch <= hi {
+                folded.merge(&slab.hist);
+            }
+        }
+        folded.snapshot(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_roll_deterministically_under_injected_ticks() {
+        let mut w = WindowedHistogram::new(1_000_000, 64); // 1 s slabs
+        w.record(500_000, 10.0); // t = 0.5 s
+        w.record(5_500_000, 20.0); // t = 5.5 s
+        w.record(5_600_000, 30.0); // t = 5.6 s
+        let now = 5_700_000;
+        // 1 s window: only the two samples in the current slab.
+        let one = w.merged("lat", now, 1_000_000);
+        assert_eq!(one.count, 2);
+        assert_eq!(one.min, 20.0);
+        assert_eq!(one.max, 30.0);
+        // 10 s window: everything.
+        let ten = w.merged("lat", now, 10_000_000);
+        assert_eq!(ten.count, 3);
+        assert_eq!(ten.quantile(1.0), 30.0);
+        assert_eq!(ten.quantile(0.01), 10.0);
+        // Same ticks, same answer: reads never mutate.
+        assert_eq!(w.merged("lat", now, 10_000_000), ten);
+    }
+
+    #[test]
+    fn old_samples_expire_out_of_the_window() {
+        let mut w = WindowedHistogram::new(250_000, 8); // 2 s coverage
+        w.record(0, 1.0);
+        assert_eq!(w.merged("h", 0, 250_000).count, 1);
+        // 1.9 s later the sample is outside a 1 s window but inside 2 s.
+        assert_eq!(w.merged("h", 1_900_000, 1_000_000).count, 0);
+        assert_eq!(w.merged("h", 1_900_000, 2_000_000).count, 1);
+    }
+
+    #[test]
+    fn ring_wraparound_drops_the_oldest_slab() {
+        let mut w = WindowedHistogram::new(100, 4); // 400 µs coverage
+        for t in 0..4u64 {
+            w.record(t * 100, t as f64);
+        }
+        assert_eq!(w.merged("h", 399, 400).count, 4);
+        // Epoch 4 reuses epoch 0's position: the 0.0 sample is gone even
+        // if we ask for a window that would have covered it.
+        w.record(400, 4.0);
+        let snap = w.merged("h", 400, 1_000_000);
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.min, 1.0);
+        assert_eq!(snap.max, 4.0);
+    }
+
+    #[test]
+    fn span_and_slab_accessors() {
+        let w = WindowedHistogram::new(250_000, 256);
+        assert_eq!(w.slab_us(), 250_000);
+        assert_eq!(w.span_us(), 64_000_000);
+    }
+
+    #[test]
+    fn small_windows_keep_exact_quantiles() {
+        let mut w = WindowedHistogram::new(1_000, 16);
+        for (i, v) in [5.0, 1.0, 9.0, 3.0].iter().enumerate() {
+            w.record(i as u64 * 1_000, *v);
+        }
+        let snap = w.merged("h", 3_500, 16_000);
+        assert_eq!(snap.count, 4);
+        // Four samples across four slabs: merge preserved the exact set.
+        assert_eq!(snap.quantile(0.5), 3.0);
+        assert_eq!(snap.quantile(0.75), 5.0);
+    }
+}

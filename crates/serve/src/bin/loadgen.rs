@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! loadgen --addr HOST:PORT [--conns N] [--requests N] [--seeds N]
-//!         [--warmup N] [--measure N] [--smoke]
+//!         [--warmup N] [--measure N] [--telemetry] [--smoke]
 //! ```
 //!
 //! Opens `--conns` connections; each sends `--requests` single-point `sim`
@@ -20,8 +20,18 @@
 //!  "p50_us":...,"p95_us":...,"p99_us":...,"max_us":...}
 //! ```
 //!
-//! `--smoke` sends one `planner`, one `sim` and one `stats` query on one
-//! connection and exits non-zero unless all three answer `"ok":true` — a
+//! `--telemetry` additionally queries the server's `telemetry` method
+//! after the run and reports the *server-side* `sim` latency percentiles
+//! (60 s window) next to the client-side ones — `server_p50_us`,
+//! `server_p95_us`, `server_p99_us` in the stdout JSON plus a
+//! side-by-side table on stderr. Client-side numbers include the wire
+//! round trip; server-side ones start at request receipt, so the gap is
+//! the network + parse cost.
+//!
+//! `--smoke` sends one `planner`, one `sim`, one `stats`, and two
+//! `telemetry` queries (JSON — checking the rolling `sim` p99 is present
+//! — and `format:"text"`, checking every exposition line parses) on one
+//! connection and exits non-zero unless all answer `"ok":true` — a
 //! cheap CI health check.
 //!
 //! `--plan-smoke` sends one small streaming `plan` query (two designs, one
@@ -48,6 +58,7 @@ struct Args {
     measure: u64,
     smoke: bool,
     plan_smoke: bool,
+    telemetry: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -60,6 +71,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         measure: 2_000,
         smoke: false,
         plan_smoke: false,
+        telemetry: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -83,6 +95,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             args.smoke = true;
         } else if a == "--plan-smoke" {
             args.plan_smoke = true;
+        } else if a == "--telemetry" {
+            args.telemetry = true;
         } else if let Some(v) = flag_value("--addr")? {
             args.addr = v;
         } else if let Some(v) = flag_value("--conns")? {
@@ -119,6 +133,47 @@ fn is_ok(reply: &Json) -> bool {
     matches!(reply.get("ok"), Some(Json::Bool(true)))
 }
 
+/// Check the JSON telemetry reply carries a rolling `sim` p99 — the
+/// probe that the windowed histograms are live, not just present.
+fn telemetry_has_sim_p99(reply: &Json) -> bool {
+    reply
+        .get("result")
+        .and_then(|r| r.get("methods"))
+        .and_then(|m| m.get("sim"))
+        .and_then(|s| s.get("latency_us"))
+        .and_then(|l| l.get("10s"))
+        .and_then(|w| w.get("p99"))
+        .is_some()
+}
+
+/// Validate the Prometheus-style exposition: every non-comment line must
+/// be `name{labels} value` (or `name value`) with a float-parsable value
+/// and balanced label braces.
+fn telemetry_text_parses(reply: &Json) -> bool {
+    let Some(Json::Str(text)) = reply.get("result").and_then(|r| r.get("text")) else {
+        return false;
+    };
+    if text.is_empty() {
+        return false;
+    }
+    text.lines().all(|line| {
+        if line.starts_with('#') || line.is_empty() {
+            return true;
+        }
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            return false;
+        };
+        if name.is_empty() || value.parse::<f64>().is_err() {
+            return false;
+        }
+        match name.find('{') {
+            Some(0) => false,
+            Some(_) => name.ends_with('}'),
+            None => true,
+        }
+    })
+}
+
 fn smoke(args: &Args) -> i32 {
     let mut client = match Client::connect(&args.addr) {
         Ok(c) => c,
@@ -128,14 +183,34 @@ fn smoke(args: &Args) -> i32 {
         }
     };
     let mut rng = StdRng::seed_from_u64(0x10AD);
-    let queries = [
-        (1, Method::Planner, Json::Obj(Vec::new())),
-        (2, Method::Sim, sim_params(&mut rng, args)),
-        (3, Method::Stats, Json::Obj(Vec::new())),
+    type Check = fn(&Json) -> bool;
+    let always_ok: Check = |_| true;
+    let queries: [(i64, Method, Json, Check, &str); 5] = [
+        (1, Method::Planner, Json::Obj(Vec::new()), always_ok, ""),
+        (2, Method::Sim, sim_params(&mut rng, args), always_ok, ""),
+        (3, Method::Stats, Json::Obj(Vec::new()), always_ok, ""),
+        (
+            4,
+            Method::Telemetry,
+            Json::Obj(Vec::new()),
+            telemetry_has_sim_p99,
+            "no rolling sim p99 in telemetry",
+        ),
+        (
+            5,
+            Method::Telemetry,
+            Json::obj([("format", Json::from("text"))]),
+            telemetry_text_parses,
+            "telemetry text exposition did not parse",
+        ),
     ];
-    for (id, method, params) in queries {
+    for (id, method, params, check, complaint) in queries {
         match client.request(id, method, params, None) {
             Ok(reply) if is_ok(&reply) => {
+                if !check(&reply) {
+                    eprintln!("[loadgen] {}: {complaint}", method.name());
+                    return 1;
+                }
                 eprintln!("[loadgen] {} ok", method.name());
             }
             Ok(reply) => {
@@ -220,7 +295,8 @@ fn main() {
             eprintln!("[loadgen] {e}");
             eprintln!(
                 "usage: loadgen --addr HOST:PORT [--conns N] [--requests N] \
-                 [--seeds N] [--warmup N] [--measure N] [--smoke] [--plan-smoke]"
+                 [--seeds N] [--warmup N] [--measure N] [--telemetry] [--smoke] \
+                 [--plan-smoke]"
             );
             std::process::exit(2);
         }
@@ -268,26 +344,78 @@ fn main() {
     let wall_s = t0.elapsed().as_secs_f64();
     lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let done = lat_us.len() as u64;
-    let summary = Json::obj([
-        ("conns", Json::from(args.conns)),
-        ("requests", Json::from(done)),
-        ("errors", Json::from(errors)),
-        ("wall_s", Json::from(wall_s)),
+    let mut fields = vec![
+        ("conns".to_owned(), Json::from(args.conns)),
+        ("requests".to_owned(), Json::from(done)),
+        ("errors".to_owned(), Json::from(errors)),
+        ("wall_s".to_owned(), Json::from(wall_s)),
         (
-            "rps",
+            "rps".to_owned(),
             Json::from(if wall_s > 0.0 {
                 done as f64 / wall_s
             } else {
                 0.0
             }),
         ),
-        ("p50_us", Json::from(percentile(&lat_us, 0.50))),
-        ("p95_us", Json::from(percentile(&lat_us, 0.95))),
-        ("p99_us", Json::from(percentile(&lat_us, 0.99))),
-        ("max_us", Json::from(lat_us.last().copied().unwrap_or(0.0))),
-    ]);
-    println!("{}", summary.render_compact());
+        ("p50_us".to_owned(), Json::from(percentile(&lat_us, 0.50))),
+        ("p95_us".to_owned(), Json::from(percentile(&lat_us, 0.95))),
+        ("p99_us".to_owned(), Json::from(percentile(&lat_us, 0.99))),
+        (
+            "max_us".to_owned(),
+            Json::from(lat_us.last().copied().unwrap_or(0.0)),
+        ),
+    ];
+    if args.telemetry {
+        match server_sim_percentiles(&args) {
+            Ok(server) => {
+                eprintln!("[loadgen] latency, client-side vs server-side (sim, 60s window):");
+                eprintln!("[loadgen]   {:>6}  {:>12}  {:>12}", "pct", "client_us", "server_us");
+                for (label, p, s) in [
+                    ("p50", percentile(&lat_us, 0.50), server[0]),
+                    ("p95", percentile(&lat_us, 0.95), server[1]),
+                    ("p99", percentile(&lat_us, 0.99), server[2]),
+                ] {
+                    eprintln!("[loadgen]   {label:>6}  {p:>12.1}  {s:>12.1}");
+                }
+                fields.push(("server_p50_us".to_owned(), Json::from(server[0])));
+                fields.push(("server_p95_us".to_owned(), Json::from(server[1])));
+                fields.push(("server_p99_us".to_owned(), Json::from(server[2])));
+            }
+            Err(e) => {
+                eprintln!("[loadgen] telemetry query failed: {e}");
+                errors += 1;
+            }
+        }
+    }
+    println!("{}", Json::Obj(fields).render_compact());
     if errors > 0 {
         std::process::exit(1);
     }
+}
+
+/// Query the server's `telemetry` method and pull the `sim` latency
+/// p50/p95/p99 out of the 60 s window.
+fn server_sim_percentiles(args: &Args) -> Result<[f64; 3], String> {
+    let mut client = Client::connect(&args.addr).map_err(|e| e.to_string())?;
+    let reply = client
+        .request(9_000_000, Method::Telemetry, Json::Obj(Vec::new()), None)
+        .map_err(|e| e.to_string())?;
+    if !is_ok(&reply) {
+        return Err(reply.render_compact());
+    }
+    let window = reply
+        .get("result")
+        .and_then(|r| r.get("methods"))
+        .and_then(|m| m.get("sim"))
+        .and_then(|s| s.get("latency_us"))
+        .and_then(|l| l.get("60s"))
+        .ok_or("no sim 60s latency window in telemetry reply")?;
+    let quantile = |key: &str| -> Result<f64, String> {
+        match window.get(key) {
+            Some(Json::Num(v)) => Ok(*v),
+            Some(Json::Int(v)) => Ok(*v as f64),
+            other => Err(format!("bad `{key}` in telemetry window: {other:?}")),
+        }
+    };
+    Ok([quantile("p50")?, quantile("p95")?, quantile("p99")?])
 }

@@ -4,14 +4,14 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--port-file PATH] [--quick] [--jobs N]
-//!       [--queue-cap N] [--workers N] [--oneshot]
+//!       [--queue-cap N] [--workers N] [--slow-ms N] [--oneshot]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0`, an ephemeral port), prints
 //! `[serve] listening on HOST:PORT` to stderr, and answers
 //! newline-delimited JSON requests (`sim`, `experiment`, `planner`,
-//! `plan`, `stats` — see the `m3d_serve::protocol` rustdoc for the
-//! grammar) until SIGTERM or ctrl-c, then drains in-flight work and exits
+//! `plan`, `stats`, `telemetry` — see the `m3d_serve::protocol` rustdoc
+//! for the grammar) until SIGTERM or ctrl-c, then drains in-flight work and exits
 //! 0. `plan` requests stream partial frontier lines before their final
 //! response; in `--oneshot` mode those partials go to stdout exactly as
 //! the daemon would put them on the wire.
@@ -26,6 +26,9 @@
 //! * `--queue-cap N` — admission-queue bound (default 64); a full queue
 //!   rejects with a structured `overloaded` error.
 //! * `--workers N` — queue-draining worker threads (default 2).
+//! * `--slow-ms N` — slow-request log threshold in milliseconds
+//!   (default 500; 0 disables). Requests at or over it land in the
+//!   `telemetry` method's slow log with a queue/handle span tree.
 //! * `--oneshot` — no TCP at all: read request lines from stdin, write
 //!   response lines to stdout, exit at EOF. One process per query is the
 //!   honest "cold" baseline the `perf_baseline` serve probe compares the
@@ -81,6 +84,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             args.cfg.workers = v
                 .parse::<usize>()
                 .map_err(|_| format!("--workers needs an integer, got `{v}`"))?;
+        } else if let Some(v) = flag_value("--slow-ms")? {
+            args.cfg.slow_ms = v
+                .parse::<u64>()
+                .map_err(|_| format!("--slow-ms needs an integer, got `{v}`"))?;
         } else {
             return Err(format!("unknown flag `{a}`"));
         }
@@ -88,7 +95,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn oneshot(quick: bool, jobs: usize) -> i32 {
+fn oneshot(quick: bool, jobs: usize, slow_ms: u64) -> i32 {
     let engine = match Engine::new(quick, jobs) {
         Ok(e) => e,
         Err(e) => {
@@ -96,6 +103,7 @@ fn oneshot(quick: bool, jobs: usize) -> i32 {
             return 2;
         }
     };
+    engine.set_slow_ms(slow_ms);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -126,13 +134,13 @@ fn main() {
             eprintln!("[serve] {e}");
             eprintln!(
                 "usage: serve [--addr HOST:PORT] [--port-file PATH] [--quick] \
-                 [--jobs N] [--queue-cap N] [--workers N] [--oneshot]"
+                 [--jobs N] [--queue-cap N] [--workers N] [--slow-ms N] [--oneshot]"
             );
             std::process::exit(2);
         }
     };
     if args.oneshot {
-        std::process::exit(oneshot(args.cfg.quick, args.cfg.jobs));
+        std::process::exit(oneshot(args.cfg.quick, args.cfg.jobs, args.cfg.slow_ms));
     }
     install_signal_handlers();
     let server = match Server::bind(args.cfg) {

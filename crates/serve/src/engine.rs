@@ -8,6 +8,7 @@ use crate::protocol::{
     ok_line, parse_request, partial_line, ErrorKind, Method, Request, WireError,
     MAX_INTERVAL_UOPS, MAX_POINTS,
 };
+use crate::telemetry::{RequestObservation, ServeTelemetry, RECENT_DEFAULT, RECENT_MAX};
 use m3d_core::configs::{DesignPoint, MulticoreDesign};
 use m3d_core::experiments::registry::{
     find, run_experiments, Ctx, CtxError, ExperimentError,
@@ -26,14 +27,35 @@ use std::time::Instant;
 /// Every counter the server maintains. [`Engine::stats`] reports each of
 /// them unconditionally (zeros included), so monitoring clients can tell
 /// "never happened" apart from "not a counter".
-pub const SERVE_COUNTERS: [&str; 6] = [
+pub const SERVE_COUNTERS: [&str; 13] = [
     "serve.requests",
+    "serve.requests.sim",
+    "serve.requests.experiment",
+    "serve.requests.planner",
+    "serve.requests.plan",
+    "serve.requests.stats",
+    "serve.requests.telemetry",
     "serve.coalesced",
     "serve.rejected",
     "serve.deadline_expired",
     "serve.errors",
     "serve.plan_chunks",
+    "serve.write_errors",
 ];
+
+/// The per-method request counter for a method (`serve.requests.sim`,
+/// ...). Every name is in [`SERVE_COUNTERS`], so `stats` and `telemetry`
+/// report them all with explicit zeros.
+pub fn method_counter(m: Method) -> &'static str {
+    match m {
+        Method::Sim => "serve.requests.sim",
+        Method::Experiment => "serve.requests.experiment",
+        Method::Planner => "serve.requests.planner",
+        Method::Plan => "serve.requests.plan",
+        Method::Stats => "serve.requests.stats",
+        Method::Telemetry => "serve.requests.telemetry",
+    }
+}
 
 /// A parsed `sim` request: the point list plus the strictness flag.
 #[derive(Debug, Clone)]
@@ -148,6 +170,7 @@ fn parse_sim_point(p: &Json) -> Result<SimPoint, WireError> {
 pub struct Engine {
     ctx: Ctx,
     start: Instant,
+    telemetry: ServeTelemetry,
 }
 
 impl Engine {
@@ -170,12 +193,23 @@ impl Engine {
         Ok(Engine {
             ctx,
             start: Instant::now(),
+            telemetry: ServeTelemetry::new(),
         })
     }
 
     /// The context (scale, quickness, worker lanes) this engine runs with.
     pub fn ctx(&self) -> &Ctx {
         &self.ctx
+    }
+
+    /// This engine's live telemetry (windows, flight recorder, slow log).
+    pub fn live(&self) -> &ServeTelemetry {
+        &self.telemetry
+    }
+
+    /// Set the slow-request log threshold (`--slow-ms`; 0 disables).
+    pub fn set_slow_ms(&self, ms: u64) {
+        self.telemetry.set_slow_ms(ms);
     }
 
     /// Answer a group of `sim` requests with **one** batch submission:
@@ -276,6 +310,36 @@ impl Engine {
         ])
     }
 
+    /// Answer a `telemetry` request: rolling per-method windows with
+    /// quantiles, the most recent flight records (`"recent"`, default
+    /// 16, capped at 128), and the slow-request log. `"format":"text"`
+    /// returns the Prometheus-style exposition wrapped as
+    /// `{"text": "..."}`; the default (or `"format":"json"`) is the
+    /// structured report.
+    pub fn telemetry(&self, params: &Json) -> Result<Json, WireError> {
+        let recent = get_u64(params, "recent")?
+            .unwrap_or(RECENT_DEFAULT)
+            .min(RECENT_MAX) as usize;
+        match params.get("format") {
+            None | Some(Json::Null) => {}
+            Some(Json::Str(s)) if s == "json" => {}
+            Some(Json::Str(s)) if s == "text" => {
+                return Ok(Json::obj([(
+                    "text",
+                    Json::from(self.telemetry.to_text()),
+                )]));
+            }
+            Some(_) => {
+                return Err(WireError::bad_request(
+                    "`format` must be \"json\" or \"text\"",
+                ));
+            }
+        }
+        Ok(self
+            .telemetry
+            .to_json(self.start.elapsed().as_secs_f64(), recent))
+    }
+
     /// Answer one already-parsed request (the serial path: no queue, no
     /// coalescing). Deadlines still apply.
     pub fn answer_request(&self, req: &Request) -> Result<Json, WireError> {
@@ -303,6 +367,7 @@ impl Engine {
             // [`Engine::plan`] (or `answer_lines`) to observe the stream.
             Method::Plan => self.plan(req.id, &req.params, deadline, |_| {}),
             Method::Stats => Ok(self.stats()),
+            Method::Telemetry => self.telemetry(&req.params),
         }
     }
 
@@ -322,6 +387,7 @@ impl Engine {
             }
         };
         m3d_obs::add("serve.requests", 1);
+        m3d_obs::add(method_counter(req.method), 1);
         let _span = m3d_obs::span("serve", req.method.name());
         let mut out = Vec::new();
         let result = if req.method == Method::Plan {
@@ -332,14 +398,29 @@ impl Engine {
         } else {
             self.answer_request(&req)
         };
-        out.push(match result {
-            Ok(result) => ok_line(req.id, result),
+        let (final_line, outcome) = match result {
+            Ok(result) => (ok_line(req.id, result), "ok"),
             Err(e) => {
                 m3d_obs::add("serve.errors", 1);
-                crate::protocol::err_line(Some(req.id), &e)
+                (
+                    crate::protocol::err_line(Some(req.id), &e),
+                    e.kind.wire_name(),
+                )
             }
+        };
+        let total_us = (started.elapsed().as_secs_f64() * 1e6) as u64;
+        m3d_obs::record("serve.latency_us", total_us as f64);
+        self.telemetry.observe(RequestObservation {
+            id: req.id,
+            method: req.method,
+            req_bytes: line.len() as u64,
+            resp_bytes: final_line.len() as u64,
+            queue_us: 0,
+            total_us,
+            batch: 1,
+            outcome,
         });
-        m3d_obs::record("serve.latency_us", started.elapsed().as_secs_f64() * 1e6);
+        out.push(final_line);
         out
     }
 

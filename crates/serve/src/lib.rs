@@ -21,6 +21,8 @@
 //! |              | ([`m3d_core::search`]), streaming partial frontiers as   |
 //! |              | it goes                                                  |
 //! | `stats`      | a live `m3d-obs` metrics snapshot + memo-cache size      |
+//! | `telemetry`  | rolling 1 s/10 s/60 s latency windows with quantiles,    |
+//! |              | recent flight records, and the slow-request log          |
 //!
 //! # Production shape
 //!
@@ -35,9 +37,12 @@
 //!   so concurrent requests sharing a warm key share one warm-up.
 //! * **Graceful shutdown** — SIGTERM/ctrl-c stop the accept loop, drain
 //!   queued and in-flight work, flush every reply, then exit 0.
-//! * **Observability** — per-request spans plus `serve.requests`,
-//!   `serve.coalesced`, `serve.rejected`, `serve.deadline_expired`,
-//!   `serve.errors` counters and a `serve.latency_us` histogram.
+//! * **Observability** — per-request spans plus `serve.requests` (total
+//!   and per method: `serve.requests.sim`, `.experiment`, `.planner`,
+//!   `.plan`, `.stats`, `.telemetry`), `serve.coalesced`,
+//!   `serve.rejected`, `serve.deadline_expired`, `serve.errors`,
+//!   `serve.write_errors` counters and a `serve.latency_us` histogram —
+//!   cumulative totals via `stats`, rolling windows via `telemetry`.
 //!
 //! The determinism contract of the batch engine carries over the wire: a
 //! `sim` response is a pure function of its own point list (never of what
@@ -106,6 +111,35 @@
 //! {"id":5,"ok":true,"result":{"counters":{...},"memo_entries":...}}
 //! ```
 //!
+//! ## `telemetry` — rolling-window latency telemetry
+//!
+//! Where `stats` answers process-lifetime totals, `telemetry` answers
+//! "what happened recently": per-method latency and queue-wait
+//! histograms over rolling 1 s/10 s/60 s windows (count/mean/max plus
+//! p50/p90/p95/p99 — exact below 64 samples per window, within a factor
+//! of 2 from the log₂ buckets beyond), the most recent flight-recorder
+//! entries (one structured record per finished request: byte sizes,
+//! queue wait, handle time, batch size, outcome), and the slow-request
+//! log (requests over `--slow-ms`, with a `request` → `queue`/`handle`
+//! span tree each):
+//!
+//! ```text
+//! $ echo '{"id":6,"method":"telemetry","params":{"recent":4}}' \
+//!     | serve --oneshot --quick
+//! {"id":6,"ok":true,"result":{"uptime_s":...,"windows_s":[1,10,60],
+//!   "methods":{"sim":{"requests":...,"latency_us":{"1s":{"count":...,
+//!   "p50":...,"p99":...},...},"queue_us":{...}},...},
+//!   "flight":{"capacity":256,"dropped":0,"recent":[...]},
+//!   "slow":{"threshold_ms":500,"total":0,"recent":[]}}}
+//! ```
+//!
+//! `"params":{"format":"text"}` returns a Prometheus-style text
+//! exposition instead, wrapped as `{"text":"..."}` (metrics
+//! `m3d_serve_requests_total`, `m3d_serve_latency_us{method,window,
+//! quantile}`, `m3d_serve_queue_wait_us`, `m3d_serve_write_errors_total`,
+//! `m3d_serve_flight_dropped_total`, `m3d_serve_slow_requests_total`).
+//! `"recent"` bounds the flight records returned (default 16, max 128).
+//!
 //! ## Error kinds
 //!
 //! Every failure is `{"id":...,"ok":false,"error":{"kind":...,"message":...}}`
@@ -116,7 +150,7 @@
 //! | `parse`          | the line was not valid JSON (id `null` if unreadable)|
 //! | `bad_request`    | wrong request shape or parameters (incl. `plan` spec |
 //! |                  | violations: unknown fields, axis caps, vdd range)    |
-//! | `unknown_method` | not one of the five methods                          |
+//! | `unknown_method` | not one of the six methods                           |
 //! | `oversized`      | line over [`protocol::MAX_LINE_BYTES`]; the reader   |
 //! |                  | resyncs at the next newline                          |
 //! | `overloaded`     | admission queue full — retry later (backpressure)    |
@@ -130,7 +164,7 @@
 //! ## Deadline and overload semantics
 //!
 //! `deadline_ms` is measured from receipt. Cheap methods (`planner`,
-//! `stats`) answer inline and ignore it. Queued work checks it before
+//! `stats`, `telemetry`) answer inline and ignore it. Queued work checks it before
 //! starting; a deadline-bearing `sim` runs alone (never coalesced) so its
 //! cancellation cannot take bystanders down; `plan` re-checks at every
 //! chunk boundary, so a timed-out search still streams the chunks it
@@ -147,6 +181,8 @@ pub mod client;
 pub mod engine;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use engine::Engine;
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use telemetry::ServeTelemetry;

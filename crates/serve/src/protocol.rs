@@ -6,7 +6,8 @@
 //! never contains a raw newline). Requests:
 //!
 //! ```text
-//! {"id": <int>, "method": "sim"|"experiment"|"planner"|"plan"|"stats",
+//! {"id": <int>, "method": "sim"|"experiment"|"planner"|"plan"|"stats"
+//!                          |"telemetry",
 //!  "params": <object>, "deadline_ms": <int, optional>}
 //! ```
 //!
@@ -82,9 +83,21 @@ pub enum Method {
     Plan,
     /// Return a live metrics snapshot.
     Stats,
+    /// Return rolling-window latency telemetry and recent flight records.
+    Telemetry,
 }
 
 impl Method {
+    /// Every served method, in a fixed order (indexes telemetry tables).
+    pub const ALL: [Method; 6] = [
+        Method::Sim,
+        Method::Experiment,
+        Method::Planner,
+        Method::Plan,
+        Method::Stats,
+        Method::Telemetry,
+    ];
+
     /// Wire name → method.
     pub fn from_name(name: &str) -> Option<Method> {
         match name {
@@ -93,6 +106,7 @@ impl Method {
             "planner" => Some(Method::Planner),
             "plan" => Some(Method::Plan),
             "stats" => Some(Method::Stats),
+            "telemetry" => Some(Method::Telemetry),
             _ => None,
         }
     }
@@ -105,6 +119,7 @@ impl Method {
             Method::Planner => "planner",
             Method::Plan => "plan",
             Method::Stats => "stats",
+            Method::Telemetry => "telemetry",
         }
     }
 }
@@ -116,7 +131,7 @@ pub enum ErrorKind {
     Parse,
     /// The request shape or parameters were wrong.
     BadRequest,
-    /// The method name is not one of the five served.
+    /// The method name is not one of the six served.
     UnknownMethod,
     /// The request line exceeded [`MAX_LINE_BYTES`].
     Oversized,

@@ -6,7 +6,8 @@
 //! * The accept loop polls a non-blocking listener so it can also watch
 //!   the shutdown flag.
 //! * Each connection gets a reader thread. Cheap read-only methods
-//!   (`planner`, `stats`) are answered inline on it; heavy work (`sim`,
+//!   (`planner`, `stats`, `telemetry`) are answered inline on it; heavy
+//!   work (`sim`,
 //!   `experiment`, `plan`) is pushed through the bounded admission queue —
 //!   a full
 //!   queue answers `overloaded` immediately (backpressure, never
@@ -30,10 +31,11 @@
 //! finish everything already queued, readers flush in-flight replies, and
 //! `run` returns — the binary then exits 0.
 
-use crate::engine::{parse_sim_params, Engine, SimRequest};
+use crate::engine::{method_counter, parse_sim_params, Engine, SimRequest};
 use crate::protocol::{
     err_line, ok_line, parse_request, ErrorKind, Method, WireError, MAX_LINE_BYTES,
 };
+use crate::telemetry::{RequestObservation, SLOW_MS_DEFAULT};
 use m3d_core::report::Json;
 use std::collections::VecDeque;
 use std::io::Read;
@@ -82,6 +84,8 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// Worker threads draining the queue (clamped to at least one).
     pub workers: usize,
+    /// Slow-request log threshold, milliseconds (0 disables the log).
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -92,24 +96,33 @@ impl Default for ServerConfig {
             jobs: 1,
             queue_cap: 64,
             workers: 2,
+            slow_ms: SLOW_MS_DEFAULT,
         }
     }
 }
 
+/// Request identity and arrival facts, threaded from admission through
+/// the queue to the response so the flight recorder can reconstruct the
+/// request's life.
+struct ReqMeta {
+    id: i64,
+    method: Method,
+    received: Instant,
+    req_bytes: u64,
+}
+
 /// One queued `sim` request.
 struct SimWork {
-    id: i64,
+    meta: ReqMeta,
     req: SimRequest,
-    received: Instant,
     reply: Arc<ConnWriter>,
 }
 
 /// One queued `experiment` request.
 struct ExpWork {
-    id: i64,
+    meta: ReqMeta,
     params: Json,
     deadline: Option<Instant>,
-    received: Instant,
     reply: Arc<ConnWriter>,
 }
 
@@ -117,10 +130,9 @@ struct ExpWork {
 /// connection *while running*: each frontier chunk goes out as a partial
 /// line through the shared [`ConnWriter`] before the final result.
 struct PlanWork {
-    id: i64,
+    meta: ReqMeta,
     params: Json,
     deadline: Option<Instant>,
-    received: Instant,
     reply: Arc<ConnWriter>,
 }
 
@@ -136,12 +148,15 @@ enum Work {
 }
 
 impl Work {
-    /// Answer this work with an error without running it (queue rejection).
-    fn fail(self, e: WireError) {
+    /// Answer this work with an error without running it (queue
+    /// rejection): `batch` 0 — it never reached a batch.
+    fn fail(self, state: &ServerState, e: WireError) {
         match self {
-            Work::Sim(w) | Work::SimDeadline(w, _) => send_result(&w.reply, w.id, w.received, Err(e)),
-            Work::Experiment(w) => send_result(&w.reply, w.id, w.received, Err(e)),
-            Work::Plan(w) => send_result(&w.reply, w.id, w.received, Err(e)),
+            Work::Sim(w) | Work::SimDeadline(w, _) => {
+                send_result(state, &w.reply, &w.meta, 0, 0, Err(e))
+            }
+            Work::Experiment(w) => send_result(state, &w.reply, &w.meta, 0, 0, Err(e)),
+            Work::Plan(w) => send_result(state, &w.reply, &w.meta, 0, 0, Err(e)),
         }
     }
 }
@@ -180,6 +195,11 @@ impl Queue {
     }
 
     /// Admit work, or hand it back with the structured rejection.
+    ///
+    /// The rejected `Work` rides in the `Err` by value on purpose: the
+    /// caller needs it back to answer the client, and this is a
+    /// once-per-request cold path.
+    #[allow(clippy::result_large_err)]
     fn push(&self, w: Work) -> Result<(), (Work, WireError)> {
         let mut q = self.inner.lock().expect("serve queue poisoned");
         if q.closed {
@@ -250,24 +270,39 @@ struct ConnWriter {
 }
 
 impl ConnWriter {
-    /// Write one response line. Write errors are ignored: the client may
-    /// have hung up, which must not take the worker down.
-    fn send(&self, line: &str) {
+    /// Write one response line. A write failure (the client may have hung
+    /// up, which must not take the worker down) is swallowed but counted
+    /// in `serve.write_errors`; the return value says whether the line
+    /// made it out.
+    fn send(&self, line: &str) -> bool {
         use std::io::Write;
         let mut buf = Vec::with_capacity(line.len() + 1);
         buf.extend_from_slice(line.as_bytes());
         buf.push(b'\n');
         let mut s = self.stream.lock().expect("connection writer poisoned");
-        let _ = s.write_all(&buf);
-        let _ = s.flush();
+        let sent = s.write_all(&buf).is_ok() && s.flush().is_ok();
+        if !sent {
+            m3d_obs::add("serve.write_errors", 1);
+        }
+        sent
     }
 }
 
-/// Send a handler outcome and maintain the serve counters / latency
-/// histogram. Decrements the connection's pending count.
-fn send_result(writer: &ConnWriter, id: i64, received: Instant, result: Result<Json, WireError>) {
-    let line = match result {
-        Ok(v) => ok_line(id, v),
+/// Send a handler outcome and maintain the serve counters, the latency
+/// histogram, and the engine's live telemetry (windows + flight
+/// recorder). A response that fails to write records no latency — the
+/// client never saw it — but still leaves a flight record with outcome
+/// `write_error`. Decrements the connection's pending count.
+fn send_result(
+    state: &ServerState,
+    writer: &ConnWriter,
+    meta: &ReqMeta,
+    queue_us: u64,
+    batch: u32,
+    result: Result<Json, WireError>,
+) {
+    let (line, outcome) = match result {
+        Ok(v) => (ok_line(meta.id, v), "ok"),
         Err(e) => {
             m3d_obs::add("serve.errors", 1);
             match e.kind {
@@ -275,12 +310,30 @@ fn send_result(writer: &ConnWriter, id: i64, received: Instant, result: Result<J
                 ErrorKind::Overloaded => m3d_obs::add("serve.rejected", 1),
                 _ => {}
             }
-            err_line(Some(id), &e)
+            (err_line(Some(meta.id), &e), e.kind.wire_name())
         }
     };
-    writer.send(&line);
-    m3d_obs::record("serve.latency_us", received.elapsed().as_secs_f64() * 1e6);
+    let sent = writer.send(&line);
+    let total_us = (meta.received.elapsed().as_secs_f64() * 1e6) as u64;
+    if sent {
+        m3d_obs::record("serve.latency_us", total_us as f64);
+    }
+    state.engine.live().observe(RequestObservation {
+        id: meta.id,
+        method: meta.method,
+        req_bytes: meta.req_bytes,
+        resp_bytes: line.len() as u64,
+        queue_us,
+        total_us,
+        batch,
+        outcome: if sent { outcome } else { "write_error" },
+    });
     writer.pending.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Microseconds between a request's arrival and a worker claiming it.
+fn queue_wait_us(meta: &ReqMeta, claimed: Instant) -> u64 {
+    (claimed.duration_since(meta.received).as_secs_f64() * 1e6) as u64
 }
 
 struct ServerState {
@@ -309,6 +362,7 @@ impl Server {
         let engine = Engine::new(cfg.quick, cfg.jobs).map_err(|e| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
         })?;
+        engine.set_slow_ms(cfg.slow_ms);
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         Ok(Server {
@@ -403,23 +457,41 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 
 fn worker_loop(state: &ServerState) {
     while let Some(batch) = state.queue.pop_batch() {
+        // Queue wait ends the moment the worker claims the batch; the rest
+        // of each request's life is handle time.
+        let claimed = Instant::now();
         match batch {
             Batch::Sims(group) => {
                 if group.len() > 1 {
                     m3d_obs::add("serve.coalesced", (group.len() - 1) as u64);
                 }
                 let _span = m3d_obs::span("serve", "sim");
+                let batch_size = group.len() as u32;
                 let reqs: Vec<&SimRequest> = group.iter().map(|w| &w.req).collect();
                 match catch_unwind(AssertUnwindSafe(|| state.engine.sim_group(&reqs, None))) {
                     Ok(results) => {
                         for (w, r) in group.iter().zip(results) {
-                            send_result(&w.reply, w.id, w.received, r);
+                            send_result(
+                                state,
+                                &w.reply,
+                                &w.meta,
+                                queue_wait_us(&w.meta, claimed),
+                                batch_size,
+                                r,
+                            );
                         }
                     }
                     Err(p) => {
                         let e = WireError::new(ErrorKind::Panic, panic_text(p));
                         for w in &group {
-                            send_result(&w.reply, w.id, w.received, Err(e.clone()));
+                            send_result(
+                                state,
+                                &w.reply,
+                                &w.meta,
+                                queue_wait_us(&w.meta, claimed),
+                                batch_size,
+                                Err(e.clone()),
+                            );
                         }
                     }
                 }
@@ -431,7 +503,7 @@ fn worker_loop(state: &ServerState) {
                 }))
                 .map(|mut v| v.pop().expect("one request in, one response out"))
                 .unwrap_or_else(|p| Err(WireError::new(ErrorKind::Panic, panic_text(p))));
-                send_result(&w.reply, w.id, w.received, r);
+                send_result(state, &w.reply, &w.meta, queue_wait_us(&w.meta, claimed), 1, r);
             }
             Batch::One(Work::Sim(w)) => {
                 // Unreachable by construction (pop_batch coalesces these),
@@ -442,7 +514,7 @@ fn worker_loop(state: &ServerState) {
                     .sim_group(&[&w.req], None)
                     .pop()
                     .expect("one request in, one response out");
-                send_result(&w.reply, w.id, w.received, r);
+                send_result(state, &w.reply, &w.meta, queue_wait_us(&w.meta, claimed), 1, r);
             }
             Batch::One(Work::Experiment(w)) => {
                 let _span = m3d_obs::span("serve", "experiment");
@@ -457,7 +529,7 @@ fn worker_loop(state: &ServerState) {
                             Err(WireError::new(ErrorKind::Panic, panic_text(p)))
                         })
                 };
-                send_result(&w.reply, w.id, w.received, r);
+                send_result(state, &w.reply, &w.meta, queue_wait_us(&w.meta, claimed), 1, r);
             }
             Batch::One(Work::Plan(w)) => {
                 let _span = m3d_obs::span("serve", "plan");
@@ -471,13 +543,13 @@ fn worker_loop(state: &ServerState) {
                     // are produced; the final line still flows through
                     // `send_result` for the counters and latency record.
                     catch_unwind(AssertUnwindSafe(|| {
-                        state.engine.plan(w.id, &w.params, w.deadline, |line| {
+                        state.engine.plan(w.meta.id, &w.params, w.deadline, |line| {
                             w.reply.send(line);
                         })
                     }))
                     .unwrap_or_else(|p| Err(WireError::new(ErrorKind::Panic, panic_text(p))))
                 };
-                send_result(&w.reply, w.id, w.received, r);
+                send_result(state, &w.reply, &w.meta, queue_wait_us(&w.meta, claimed), 1, r);
             }
         }
     }
@@ -574,6 +646,13 @@ fn process_line(line: &str, writer: &Arc<ConnWriter>, state: &Arc<ServerState>) 
         }
     };
     m3d_obs::add("serve.requests", 1);
+    m3d_obs::add(method_counter(req.method), 1);
+    let meta = ReqMeta {
+        id: req.id,
+        method: req.method,
+        received,
+        req_bytes: line.len() as u64,
+    };
     let deadline = req
         .deadline_ms
         .map(|ms| received + Duration::from_millis(ms));
@@ -581,26 +660,31 @@ fn process_line(line: &str, writer: &Arc<ConnWriter>, state: &Arc<ServerState>) 
         Method::Planner => {
             let _span = m3d_obs::span("serve", "planner");
             writer.pending.fetch_add(1, Ordering::AcqRel);
-            send_result(writer, req.id, received, Ok(state.engine.planner()));
+            send_result(state, writer, &meta, 0, 1, Ok(state.engine.planner()));
         }
         Method::Stats => {
             let _span = m3d_obs::span("serve", "stats");
             writer.pending.fetch_add(1, Ordering::AcqRel);
-            send_result(writer, req.id, received, Ok(state.engine.stats()));
+            send_result(state, writer, &meta, 0, 1, Ok(state.engine.stats()));
+        }
+        Method::Telemetry => {
+            let _span = m3d_obs::span("serve", "telemetry");
+            writer.pending.fetch_add(1, Ordering::AcqRel);
+            let r = state.engine.telemetry(&req.params);
+            send_result(state, writer, &meta, 0, 1, r);
         }
         Method::Sim => {
             let sim = match parse_sim_params(&req.params) {
                 Ok(s) => s,
                 Err(e) => {
-                    m3d_obs::add("serve.errors", 1);
-                    writer.send(&err_line(Some(req.id), &e));
+                    writer.pending.fetch_add(1, Ordering::AcqRel);
+                    send_result(state, writer, &meta, 0, 0, Err(e));
                     return;
                 }
             };
             let w = SimWork {
-                id: req.id,
+                meta,
                 req: sim,
-                received,
                 reply: Arc::clone(writer),
             };
             writer.pending.fetch_add(1, Ordering::AcqRel);
@@ -609,33 +693,31 @@ fn process_line(line: &str, writer: &Arc<ConnWriter>, state: &Arc<ServerState>) 
                 None => Work::Sim(w),
             };
             if let Err((work, e)) = state.queue.push(work) {
-                work.fail(e);
+                work.fail(state, e);
             }
         }
         Method::Experiment => {
             let w = ExpWork {
-                id: req.id,
+                meta,
                 params: req.params.clone(),
                 deadline,
-                received,
                 reply: Arc::clone(writer),
             };
             writer.pending.fetch_add(1, Ordering::AcqRel);
             if let Err((work, e)) = state.queue.push(Work::Experiment(w)) {
-                work.fail(e);
+                work.fail(state, e);
             }
         }
         Method::Plan => {
             let w = PlanWork {
-                id: req.id,
+                meta,
                 params: req.params.clone(),
                 deadline,
-                received,
                 reply: Arc::clone(writer),
             };
             writer.pending.fetch_add(1, Ordering::AcqRel);
             if let Err((work, e)) = state.queue.push(Work::Plan(w)) {
-                work.fail(e);
+                work.fail(state, e);
             }
         }
     }

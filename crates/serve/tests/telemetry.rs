@@ -1,0 +1,170 @@
+//! Telemetry accounting tests: the `stats` wire method's counter surface,
+//! and the one-record-per-request guarantee for `serve.latency_us` on both
+//! the daemon and `--oneshot` paths.
+//!
+//! This is a separate test binary on purpose — the `m3d-obs` store is
+//! process-global, so these tests own their process's counters and only
+//! need a file-local mutex to serialize against each other.
+
+use m3d_core::report::Json;
+use m3d_serve::client::Client;
+use m3d_serve::engine::SERVE_COUNTERS;
+use m3d_serve::protocol::{request_line, Method};
+use m3d_serve::{Engine, Server, ServerConfig, ServerHandle};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: they all read and write the
+/// process-global metrics store.
+static STORE_LOCK: Mutex<()> = Mutex::new(());
+
+fn start() -> (String, ServerHandle) {
+    let server = Server::bind(ServerConfig {
+        quick: true,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr").to_string();
+    (addr, server.spawn())
+}
+
+fn sim_points_params(seed: u64) -> Json {
+    Json::obj([(
+        "points",
+        Json::arr([Json::obj([
+            ("app", Json::from("Gcc")),
+            ("design", Json::from("Base")),
+            ("seed", Json::from(seed)),
+            ("warmup", Json::from(1_000u64)),
+            ("measure", Json::from(800u64)),
+        ])]),
+    )])
+}
+
+/// `stats` answers every serve counter by name — including the ones that
+/// are still zero — plus uptime and the memo-cache size.
+#[test]
+fn stats_reports_every_serve_counter_including_zeros() {
+    let _guard = STORE_LOCK.lock().expect("store lock");
+    let (addr, handle) = start();
+    let mut c = Client::connect(&addr).expect("connect");
+
+    let j = c
+        .request(1, Method::Stats, Json::Obj(Vec::new()), None)
+        .expect("stats reply");
+    assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{j:?}");
+    let result = j.get("result").expect("result");
+    assert!(
+        matches!(result.get("uptime_s"), Some(Json::Num(s)) if *s >= 0.0),
+        "{result:?}"
+    );
+    assert!(
+        matches!(result.get("memo_cache_len"), Some(Json::Int(n)) if *n >= 0),
+        "{result:?}"
+    );
+
+    let counters = result
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .expect("metrics.counters");
+    for name in SERVE_COUNTERS {
+        match counters.get(name) {
+            Some(Json::Int(v)) => assert!(*v >= 0, "{name} negative"),
+            other => panic!("counter {name} missing or non-integer: {other:?}"),
+        }
+    }
+    // Nothing in this binary trips these paths, so their zeros must still
+    // be spelled out rather than omitted.
+    for name in ["serve.write_errors", "serve.rejected", "serve.deadline_expired"] {
+        assert_eq!(counters.get(name), Some(&Json::Int(0)), "{name}");
+    }
+    handle.shutdown();
+}
+
+/// A pipelined burst of N sims against the daemon records exactly N
+/// samples into `serve.latency_us` — never more. Each `stats` poll adds
+/// one more sample of its own *after* its reply hits the wire, so the
+/// expected count steps by one per poll.
+#[test]
+fn daemon_burst_records_exactly_one_latency_sample_per_request() {
+    let _guard = STORE_LOCK.lock().expect("store lock");
+    const N: i64 = 5;
+    let (addr, handle) = start();
+    let mut c = Client::connect(&addr).expect("connect");
+
+    let count_of = |j: &Json| -> i64 {
+        match j
+            .get("result")
+            .and_then(|r| r.get("metrics"))
+            .and_then(|m| m.get("histograms"))
+            .and_then(|h| h.get("serve.latency_us"))
+            .and_then(|h| h.get("count"))
+        {
+            Some(Json::Int(n)) => *n,
+            // Absent until the very first sample lands.
+            None => 0,
+            other => panic!("bad serve.latency_us count: {other:?}"),
+        }
+    };
+
+    let j = c
+        .request(10, Method::Stats, Json::Obj(Vec::new()), None)
+        .expect("baseline stats");
+    let before = count_of(&j);
+
+    for k in 0..N {
+        c.send(20 + k, Method::Sim, sim_points_params(0xAC17_0000 + k as u64), None)
+            .expect("send");
+    }
+    for _ in 0..N {
+        let line = c.read_line().expect("burst reply");
+        let j = Json::parse(&line).expect("parses");
+        assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{line}");
+    }
+
+    // Poll k (1-based) can observe at most: the baseline poll's own sample
+    // (+1), the N burst samples, and the k-1 completed earlier polls. A
+    // count ever exceeding that ceiling would mean a request was recorded
+    // twice.
+    let mut settled = false;
+    for poll in 1..=200i64 {
+        let j = c
+            .request(100 + poll, Method::Stats, Json::Obj(Vec::new()), None)
+            .expect("poll stats");
+        let now = count_of(&j);
+        let ceiling = before + 1 + N + (poll - 1);
+        assert!(
+            now <= ceiling,
+            "latency histogram over-counted: {now} > {ceiling} at poll {poll}"
+        );
+        if now == ceiling {
+            settled = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(settled, "latency count never settled at the expected total");
+    handle.shutdown();
+}
+
+/// The `--oneshot` path (bare `answer_lines`, no TCP) also records exactly
+/// one latency sample per answered request.
+#[test]
+fn oneshot_records_exactly_one_latency_sample_per_request() {
+    let _guard = STORE_LOCK.lock().expect("store lock");
+    const N: u64 = 4;
+    let engine = Engine::new(true, 1).expect("engine");
+
+    let count = || {
+        m3d_obs::snapshot()
+            .histogram("serve.latency_us")
+            .map_or(0, |h| h.count)
+    };
+    let before = count();
+    for k in 0..N {
+        let line = request_line(300 + k as i64, Method::Sim, sim_points_params(0x0E17_0000 + k), None);
+        let replies = engine.answer_lines(&line);
+        assert_eq!(replies.len(), 1, "{replies:?}");
+        assert!(replies[0].contains(r#""ok":true"#), "{}", replies[0]);
+    }
+    assert_eq!(count() - before, N, "one latency sample per oneshot request");
+}

@@ -308,6 +308,125 @@ fn bad_plan_specs_answer_bad_request() {
 }
 
 #[test]
+fn telemetry_reports_rolling_quantiles_and_flight_records_from_a_live_daemon() {
+    let (addr, handle) = start(8);
+    let mut c = Client::connect(&addr).expect("connect");
+
+    // Three sims land in the windowed per-method histograms.
+    for k in 0..3i64 {
+        let j = c
+            .request(
+                200 + k,
+                Method::Sim,
+                Json::obj([(
+                    "points",
+                    Json::arr([sim_params("Gcc", 0x7E1E_0000 + k as u64, 1_000, 800)]),
+                )]),
+                None,
+            )
+            .expect("reply");
+        assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{j:?}");
+    }
+
+    // A reply hits the wire just before its observation is recorded, so
+    // the freshest request can be in flight between read and record: poll
+    // until the engine-local 60 s window holds all three sims.
+    let mut result = Json::Null;
+    for attempt in 0..200 {
+        let j = c
+            .request(
+                210 + attempt,
+                Method::Telemetry,
+                Json::obj([("recent", Json::from(8u64))]),
+                None,
+            )
+            .expect("telemetry reply");
+        assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{j:?}");
+        result = j.get("result").expect("result").clone();
+        let count = result
+            .get("methods")
+            .and_then(|m| m.get("sim"))
+            .and_then(|s| s.get("latency_us"))
+            .and_then(|l| l.get("60s"))
+            .and_then(|w| w.get("count"));
+        if count == Some(&Json::Int(3)) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let result = &result;
+
+    // Per-method quantiles must be present in every rolling window, and
+    // the slowest window (engine-local, so nothing else records into it)
+    // must hold exactly the three sims we just ran.
+    let sim = result
+        .get("methods")
+        .and_then(|m| m.get("sim"))
+        .expect("methods.sim");
+    // The cumulative `requests` counter is process-global (other tests in
+    // this binary bump it too); only its floor is deterministic here.
+    match sim.get("requests") {
+        Some(Json::Int(n)) => assert!(*n >= 3, "requests {n} < 3"),
+        other => panic!("methods.sim.requests not an int: {other:?}"),
+    }
+    let latency = sim.get("latency_us").expect("latency_us");
+    for window in ["1s", "10s", "60s"] {
+        let w = latency.get(window).unwrap_or_else(|| panic!("window {window}"));
+        for q in ["p50", "p90", "p95", "p99"] {
+            assert!(
+                matches!(w.get(q), Some(Json::Int(_)) | Some(Json::Num(_))),
+                "{window}.{q} missing: {w:?}"
+            );
+        }
+    }
+    assert_eq!(
+        latency.get("60s").and_then(|w| w.get("count")),
+        Some(&Json::Int(3)),
+        "{latency:?}"
+    );
+    assert!(sim.get("queue_us").is_some(), "queue_us windows present");
+
+    // Flight recorder: the three sims are on record, nothing dropped.
+    let flight = result.get("flight").expect("flight");
+    assert_eq!(flight.get("dropped"), Some(&Json::Int(0)));
+    let recent = match flight.get("recent") {
+        Some(Json::Arr(r)) => r,
+        other => panic!("flight.recent not an array: {other:?}"),
+    };
+    assert!(recent.len() >= 3, "{recent:?}");
+
+    // The Prometheus-style text variant parses and names the key series.
+    let j = c
+        .request(
+            501,
+            Method::Telemetry,
+            Json::obj([("format", Json::from("text"))]),
+            None,
+        )
+        .expect("text reply");
+    assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{j:?}");
+    let text = match j.get("result").and_then(|r| r.get("text")) {
+        Some(Json::Str(t)) => t.clone(),
+        other => panic!("result.text not a string: {other:?}"),
+    };
+    assert!(text.contains("m3d_serve_requests_total{method=\"sim\"}"), "{text}");
+    assert!(text.contains("m3d_serve_latency_us{method=\"sim\""), "{text}");
+
+    // An unknown format is a structured bad_request, not a hang.
+    let j = c
+        .request(
+            502,
+            Method::Telemetry,
+            Json::obj([("format", Json::from("xml"))]),
+            None,
+        )
+        .expect("bad format reply");
+    assert_eq!(error_kind(&j).as_deref(), Some("bad_request"));
+
+    handle.shutdown();
+}
+
+#[test]
 fn pipelined_requests_are_all_answered_and_shutdown_closes_cleanly() {
     let (addr, handle) = start(64);
     let mut c = Client::connect(&addr).expect("connect");
