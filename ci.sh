@@ -78,6 +78,14 @@ echo "$LOADGEN_OUT" | grep -q '"server_p99_us"' || {
   kill -9 "$SERVE_PID" 2>/dev/null || true
   exit 1
 }
+# High-connection smoke: 64 concurrent connections against the daemon's
+# default 2 workers — connections ≫ workers, the regime the epoll event
+# loop exists for. Every connection must still get every answer.
+./target/release/loadgen --addr "$SERVE_ADDR" --conns 64 --requests 4 || {
+  echo "ci.sh: high-connection load smoke (64 conns, 2 workers) failed" >&2
+  kill -9 "$SERVE_PID" 2>/dev/null || true
+  exit 1
+}
 kill -TERM "$SERVE_PID"
 SERVE_RC=0
 wait "$SERVE_PID" || SERVE_RC=$?
@@ -86,6 +94,14 @@ wait "$SERVE_PID" || SERVE_RC=$?
   exit 1
 }
 rm -f "$SERVE_PORT_FILE"
+# The stats method must expose every documented serve.* counter even when
+# it never fired — serve.plan_aborted in particular, so dashboards can
+# tell "no plans aborted" from "counter missing".
+printf '{"id":1,"method":"stats"}\n' | ./target/release/serve --oneshot --quick \
+  | grep -q '"serve.plan_aborted"' || {
+  echo "ci.sh: stats answer lacks the serve.plan_aborted counter" >&2
+  exit 1
+}
 
 echo "== perf_baseline --check (counter-drift gate) =="
 # Deterministic integer counters (solver sweeps, warm-start hits, search
@@ -125,6 +141,20 @@ grep -q '"serve.requests.sim"' BENCH_repro.json || {
 }
 grep -q '"serve.write_errors"' BENCH_repro.json || {
   echo "ci.sh: BENCH_repro.json lacks the serve.write_errors counter" >&2
+  exit 1
+}
+grep -q '"serve.plan_aborted"' BENCH_repro.json || {
+  echo "ci.sh: BENCH_repro.json lacks the serve.plan_aborted counter" >&2
+  exit 1
+}
+# The connections-≫-workers load tier: 128 closed-loop connections on a
+# 2-worker daemon, with throughput and tail latency recorded.
+grep -q '"conns": 128' BENCH_repro.json || {
+  echo "ci.sh: BENCH_repro.json lacks the serve_probe load tier (128 conns)" >&2
+  exit 1
+}
+grep -q '"p99_us"' BENCH_repro.json || {
+  echo "ci.sh: BENCH_repro.json load tier lacks the p99 latency" >&2
   exit 1
 }
 grep -q '"search_probe"' BENCH_repro.json || {

@@ -374,7 +374,7 @@ pub fn search_probe_space() -> SearchSpace {
 /// pruned, simulated, frontier size) are pure functions of the spec.
 pub fn measure_search(space: &DesignSpace) -> (SearchOutcome, f64) {
     let t0 = Instant::now();
-    let out = run_search(space, &search_probe_space(), &SearchOptions::default(), |_| ())
+    let out = run_search(space, &search_probe_space(), &SearchOptions::default(), |_| true)
         .expect("the search-probe space runs");
     (out, t0.elapsed().as_secs_f64())
 }
@@ -836,7 +836,7 @@ mod tests {
                 prune: false,
                 ..SearchOptions::default()
             },
-            |_| (),
+            |_| true,
         )
         .expect("brute-force probe runs");
         assert!(brute.stats.pruned() < out.stats.pruned());

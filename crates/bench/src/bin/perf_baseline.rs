@@ -82,10 +82,13 @@ fn main() {
         Ok(p) => {
             eprintln!(
                 "[perf_baseline] serve probe: {:.1} rps warm daemon vs \
-                 {:.1} rps cold oneshot ({:.1}x)",
+                 {:.1} rps cold oneshot ({:.1}x); load {:.1} rps \
+                 p99 {} us",
                 p.warm_rps,
                 p.cold_rps,
-                p.speedup()
+                p.speedup(),
+                p.load_rps,
+                p.load_p99_us
             );
             Some(p)
         }

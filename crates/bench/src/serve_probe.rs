@@ -1,9 +1,9 @@
 //! The `perf_baseline` serve probe: warm-daemon vs cold-process `sim`
-//! throughput.
+//! throughput, plus a connections-≫-workers load tier.
 //!
-//! The probe answers one question: *what does keeping the daemon (and its
-//! memo cache) warm actually buy over spawning a fresh process per
-//! query?* It spawns the sibling `serve` binary twice:
+//! The probe answers two questions. First: *what does keeping the daemon
+//! (and its memo cache) warm actually buy over spawning a fresh process
+//! per query?* It spawns the sibling `serve` binary twice:
 //!
 //! * **warm** — one daemon on an ephemeral port, one connection, a
 //!   closed-loop stream of single-point `sim` queries drawn from a small
@@ -12,7 +12,16 @@
 //!   the honest "no daemon" baseline: every query pays process start-up,
 //!   engine construction and an uncached simulation.
 //!
-//! Both sides run `--quick --jobs 1`. The numbers are wall-clock and
+//! Second: *does the single-threaded event loop hold up when connections
+//! vastly outnumber workers?* The **load** phase points [`LOAD_CONNS`]
+//! concurrent closed-loop clients at a daemon restricted to
+//! [`LOAD_WORKERS`] workers, over the same warmed pool, and records
+//! aggregate throughput plus p50/p99 request latency. Since every request
+//! is a cache hit, those numbers isolate the connection plumbing —
+//! accept, line framing, mailbox handoff, write backlog — from
+//! simulation cost.
+//!
+//! All phases run `--quick --jobs 1`. The numbers are wall-clock and
 //! machine-dependent, so the resulting `serve_probe` block in
 //! `BENCH_repro.json` is informational and never gated — unlike the
 //! `serve.*` counters it also captures, which CI greps for presence.
@@ -35,6 +44,17 @@ pub const WARM_REQUESTS: usize = 60;
 /// Process spawns timed in the cold (oneshot) phase.
 pub const COLD_REQUESTS: usize = 5;
 
+/// Concurrent connections in the load phase — deliberately far above
+/// [`LOAD_WORKERS`] so the probe exercises the event loop's fan-in, not
+/// the worker pool.
+pub const LOAD_CONNS: usize = 128;
+
+/// Worker threads the load-phase daemon is started with.
+pub const LOAD_WORKERS: usize = 2;
+
+/// Closed-loop requests each load-phase connection issues.
+pub const LOAD_REQUESTS_PER_CONN: usize = 8;
+
 /// The fixed point pool: small enough that the warm phase is cache-hit
 /// dominated after one pass, varied enough to exercise distinct warm keys.
 const POOL_APPS: [&str; 3] = ["Gcc", "Mcf", "Bzip2"];
@@ -48,7 +68,13 @@ pub struct ServeProbe {
     /// Queries per second when every query spawns a fresh `--oneshot`
     /// process.
     pub cold_rps: f64,
-    /// `serve.*` counters from the daemon's final `stats` answer.
+    /// Aggregate throughput of the [`LOAD_CONNS`]-connection load phase.
+    pub load_rps: f64,
+    /// Median request latency in the load phase, microseconds.
+    pub load_p50_us: u64,
+    /// 99th-percentile request latency in the load phase, microseconds.
+    pub load_p99_us: u64,
+    /// `serve.*` counters from the warm daemon's final `stats` answer.
     pub counters: Vec<(String, u64)>,
 }
 
@@ -122,11 +148,18 @@ fn expect_ok(line: &str) -> Result<Json, String> {
     }
 }
 
-fn warm_phase(serve: &PathBuf) -> Result<(f64, Vec<(String, u64)>), String> {
-    let port_file = std::env::temp_dir().join(format!("m3d_serve_probe_{}.port", std::process::id()));
+/// Spawn the daemon on an ephemeral port and wait for its port file.
+/// `label` keeps concurrent phases' port files distinct; `extra` is
+/// appended after the common `--quick --jobs 1 --addr 127.0.0.1:0`.
+fn spawn_daemon(serve: &PathBuf, label: &str, extra: &[&str]) -> Result<(ChildGuard, String), String> {
+    let port_file = std::env::temp_dir().join(format!(
+        "m3d_serve_probe_{}_{label}.port",
+        std::process::id()
+    ));
     let _ = std::fs::remove_file(&port_file);
     let child = Command::new(serve)
         .args(["--quick", "--jobs", "1", "--addr", "127.0.0.1:0"])
+        .args(extra)
         .arg("--port-file")
         .arg(&port_file)
         .stdin(Stdio::null())
@@ -152,7 +185,12 @@ fn warm_phase(serve: &PathBuf) -> Result<(f64, Vec<(String, u64)>), String> {
         }
         std::thread::sleep(Duration::from_millis(20));
     };
+    let _ = std::fs::remove_file(&port_file);
+    Ok((child, addr))
+}
 
+fn warm_phase(serve: &PathBuf) -> Result<(f64, Vec<(String, u64)>), String> {
+    let (child, addr) = spawn_daemon(serve, "warm", &[])?;
     let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream.set_nodelay(true).ok();
     let mut writer = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
@@ -200,7 +238,6 @@ fn warm_phase(serve: &PathBuf) -> Result<(f64, Vec<(String, u64)>), String> {
     }
 
     drop(child); // SIGKILL is fine here; graceful shutdown is ci.sh's job.
-    let _ = std::fs::remove_file(&port_file);
     if warm_s <= 0.0 {
         return Err("warm phase measured zero wall time".to_owned());
     }
@@ -241,16 +278,99 @@ fn cold_phase(serve: &PathBuf) -> Result<f64, String> {
     Ok(COLD_REQUESTS as f64 / cold_s)
 }
 
-/// Run both phases against the sibling `serve` binary. Returns an error
-/// (and the caller skips the block) when the binary is missing — e.g. a
-/// `cargo run -p m3d-bench` without a prior workspace build.
+/// The connections-≫-workers phase: [`LOAD_CONNS`] concurrent clients in
+/// closed loops against a daemon with [`LOAD_WORKERS`] workers. With the
+/// pool warmed first, every request is a memo-cache hit, so the numbers
+/// measure the event loop's fan-in/fan-out (accept, framing, mailbox
+/// handoff, write backlog) rather than simulation speed. Returns
+/// `(rps, p50_us, p99_us)`.
+fn load_phase(serve: &PathBuf) -> Result<(f64, u64, u64), String> {
+    let workers = LOAD_WORKERS.to_string();
+    let (child, addr) = spawn_daemon(serve, "load", &["--workers", &workers, "--queue-cap", "256"])?;
+
+    // Warm the pool on a single connection so the timed section is
+    // cache-hit dominated for every client.
+    {
+        let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let mut writer = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        for k in 0..POOL_APPS.len() * POOL_SEEDS.len() {
+            let (app, seed) = pool_point(k);
+            writer
+                .write_all(sim_line(k, app, seed).as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .map_err(|e| format!("warmup write: {e}"))?;
+            let mut reply = String::new();
+            match reader.read_line(&mut reply) {
+                Ok(0) => return Err("serve closed the warmup connection".to_owned()),
+                Ok(_) => expect_ok(reply.trim_end()).map(|_| ())?,
+                Err(e) => return Err(format!("warmup read: {e}")),
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..LOAD_CONNS)
+        .map(|conn| {
+            let addr = addr.clone();
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let stream =
+                    TcpStream::connect(&addr).map_err(|e| format!("conn {conn} connect: {e}"))?;
+                stream.set_nodelay(true).ok();
+                let mut writer =
+                    stream.try_clone().map_err(|e| format!("conn {conn} clone: {e}"))?;
+                let mut reader = BufReader::new(stream);
+                let mut lat_us = Vec::with_capacity(LOAD_REQUESTS_PER_CONN);
+                for r in 0..LOAD_REQUESTS_PER_CONN {
+                    let (app, seed) = pool_point(conn + r);
+                    let line = sim_line(conn * LOAD_REQUESTS_PER_CONN + r, app, seed);
+                    let sent = Instant::now();
+                    writer
+                        .write_all(line.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .map_err(|e| format!("conn {conn} write: {e}"))?;
+                    let mut reply = String::new();
+                    match reader.read_line(&mut reply) {
+                        Ok(0) => return Err(format!("conn {conn}: serve closed the connection")),
+                        Ok(_) => expect_ok(reply.trim_end()).map(|_| ())?,
+                        Err(e) => return Err(format!("conn {conn} read: {e}")),
+                    }
+                    lat_us.push(sent.elapsed().as_micros() as u64);
+                }
+                Ok(lat_us)
+            })
+        })
+        .collect();
+    let mut lat_us: Vec<u64> = Vec::with_capacity(LOAD_CONNS * LOAD_REQUESTS_PER_CONN);
+    for h in handles {
+        lat_us.extend(h.join().map_err(|_| "load client panicked".to_owned())??);
+    }
+    let load_s = t0.elapsed().as_secs_f64();
+    drop(child);
+
+    if load_s <= 0.0 || lat_us.is_empty() {
+        return Err("load phase measured zero wall time".to_owned());
+    }
+    lat_us.sort_unstable();
+    let quantile = |q: f64| lat_us[((lat_us.len() - 1) as f64 * q).round() as usize];
+    Ok((lat_us.len() as f64 / load_s, quantile(0.50), quantile(0.99)))
+}
+
+/// Run all three phases against the sibling `serve` binary. Returns an
+/// error (and the caller skips the block) when the binary is missing —
+/// e.g. a `cargo run -p m3d-bench` without a prior workspace build.
 pub fn measure_serve() -> Result<ServeProbe, String> {
     let serve = serve_binary()?;
     let (warm_rps, counters) = warm_phase(&serve)?;
     let cold_rps = cold_phase(&serve)?;
+    let (load_rps, load_p50_us, load_p99_us) = load_phase(&serve)?;
     Ok(ServeProbe {
         warm_rps,
         cold_rps,
+        load_rps,
+        load_p50_us,
+        load_p99_us,
         counters,
     })
 }
@@ -263,6 +383,17 @@ pub fn serve_probe_json(p: &ServeProbe) -> Json {
         ("cold_requests", Json::from(COLD_REQUESTS)),
         ("cold_rps", Json::from(p.cold_rps)),
         ("speedup", Json::from(p.speedup())),
+        (
+            "load",
+            Json::obj([
+                ("conns", Json::from(LOAD_CONNS)),
+                ("workers", Json::from(LOAD_WORKERS)),
+                ("requests_per_conn", Json::from(LOAD_REQUESTS_PER_CONN)),
+                ("rps", Json::from(p.load_rps)),
+                ("p50_us", Json::from(p.load_p50_us)),
+                ("p99_us", Json::from(p.load_p99_us)),
+            ]),
+        ),
         (
             "counters",
             Json::Obj(
@@ -295,6 +426,9 @@ mod tests {
         let p = ServeProbe {
             warm_rps: 500.0,
             cold_rps: 16.0,
+            load_rps: 900.0,
+            load_p50_us: 1_800,
+            load_p99_us: 12_000,
             counters: vec![("serve.requests".to_owned(), 66)],
         };
         assert!((p.speedup() - 31.25).abs() < 1e-9);
@@ -305,6 +439,10 @@ mod tests {
             parsed.get("counters").and_then(|c| c.get("serve.requests")),
             Some(&Json::Int(66))
         );
+        let load = parsed.get("load").expect("load sub-block");
+        assert_eq!(load.get("conns"), Some(&Json::Int(LOAD_CONNS as i64)));
+        assert_eq!(load.get("workers"), Some(&Json::Int(LOAD_WORKERS as i64)));
+        assert_eq!(load.get("p99_us"), Some(&Json::Int(12_000)));
     }
 
     #[test]

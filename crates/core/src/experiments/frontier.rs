@@ -78,7 +78,7 @@ pub fn report(ctx: &Ctx) -> Result<ExperimentReport, ExperimentError> {
             jobs: ctx.jobs(),
             ..SearchOptions::default()
         },
-        |_| (),
+        |_| true,
     )
     .map_err(|e| ExperimentError::Panic(e.to_string()))?;
     let t_search = t1.elapsed().as_secs_f64();

@@ -98,6 +98,11 @@ pub enum SearchError {
     /// validation makes this unreachable for specs built through
     /// [`SearchSpace::from_json`] or [`SearchSpaceBuilder::build`]).
     Sim(SimError),
+    /// The `on_chunk` callback returned `false`: the caller no longer
+    /// wants the result (e.g. the client hung up), so the run stopped at
+    /// the chunk boundary. Chunks emitted so far form a deterministic
+    /// prefix of the full run, exactly like [`SearchError::Deadline`].
+    Aborted,
 }
 
 impl std::fmt::Display for SearchError {
@@ -106,6 +111,7 @@ impl std::fmt::Display for SearchError {
             SearchError::Spec(msg) => write!(f, "invalid search spec: {msg}"),
             SearchError::Deadline => write!(f, "deadline expired during the search"),
             SearchError::Sim(e) => write!(f, "simulation failed: {e}"),
+            SearchError::Aborted => write!(f, "search aborted by the caller"),
         }
     }
 }
@@ -658,13 +664,16 @@ impl Default for SearchOptions {
 
 /// Run the search: enumerate, prune, simulate chunk by chunk, and extract
 /// the Pareto frontier incrementally. `on_chunk` fires once per chunk with
-/// the frontier-so-far; the `search.*` obs counters are recorded when the
+/// the frontier-so-far and returns whether the caller still wants the run:
+/// `false` stops the search at that chunk boundary with
+/// [`SearchError::Aborted`] (the serve daemon uses this when the client
+/// hangs up mid-stream). The `search.*` obs counters are recorded when the
 /// run completes.
 pub fn run_search(
     space: &DesignSpace,
     spec: &SearchSpace,
     opts: &SearchOptions,
-    mut on_chunk: impl FnMut(&ChunkUpdate<'_>),
+    mut on_chunk: impl FnMut(&ChunkUpdate<'_>) -> bool,
 ) -> Result<SearchOutcome, SearchError> {
     let _span = m3d_obs::span("search", "run");
     let mut cands = enumerate(space, spec, opts.prune);
@@ -727,13 +736,16 @@ pub fn run_search(
 
         done += chunk.len();
         stats.frontier = frontier.len() as u64;
-        on_chunk(&ChunkUpdate {
+        let keep_going = on_chunk(&ChunkUpdate {
             chunk: chunk_idx,
             done,
             total,
             frontier: &frontier,
             stats,
         });
+        if !keep_going {
+            return Err(SearchError::Aborted);
+        }
     }
 
     stats.frontier = frontier.len() as u64;
@@ -885,7 +897,7 @@ mod tests {
     }
 
     fn run(spec: &SearchSpace, opts: &SearchOptions) -> SearchOutcome {
-        run_search(space(), spec, opts, |_| ()).expect("search runs")
+        run_search(space(), spec, opts, |_| true).expect("search runs")
     }
 
     #[test]
@@ -1064,6 +1076,7 @@ mod tests {
         let mut seen = Vec::new();
         let out = run_search(space(), &spec, &SearchOptions::default(), |u| {
             seen.push((u.chunk, u.done, chunk_json(u).render_compact()));
+            true
         })
         .expect("search runs");
         assert_eq!(seen.len(), spec.n_candidates().div_ceil(spec.chunk()));
@@ -1076,7 +1089,10 @@ mod tests {
                 jobs: 3,
                 ..SearchOptions::default()
             },
-            |u| again.push((u.chunk, u.done, chunk_json(u).render_compact())),
+            |u| {
+                again.push((u.chunk, u.done, chunk_json(u).render_compact()));
+                true
+            },
         )
         .expect("search runs");
         assert_eq!(seen, again);
@@ -1095,10 +1111,25 @@ mod tests {
                 deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
                 ..SearchOptions::default()
             },
-            |_| (),
+            |_| true,
         )
         .expect_err("deadline already passed");
         assert_eq!(err, SearchError::Deadline);
+    }
+
+    #[test]
+    fn callback_returning_false_aborts_at_the_chunk_boundary() {
+        let spec = small_builder().build().expect("valid");
+        let total_chunks = spec.n_candidates().div_ceil(spec.chunk());
+        assert!(total_chunks > 1, "spec must span several chunks");
+        let mut seen = 0usize;
+        let err = run_search(space(), &spec, &SearchOptions::default(), |_| {
+            seen += 1;
+            false
+        })
+        .expect_err("caller asked to stop");
+        assert_eq!(err, SearchError::Aborted);
+        assert_eq!(seen, 1, "no chunk runs after the abort");
     }
 
     #[test]

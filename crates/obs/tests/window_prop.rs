@@ -1,0 +1,155 @@
+//! Property test for [`WindowedHistogram`] epoch arithmetic across ring
+//! wraparound.
+//!
+//! The unit tests in `crates/obs/src/window.rs` pin the ring's behaviour on
+//! a few hand-picked tick sequences; this test hammers the same contract
+//! across randomly drawn slab durations, ring sizes and monotonic tick
+//! streams long enough to wrap the ring several times over. The reference
+//! model is the documented semantics stated directly: each recorded sample
+//! lands in the slab whose epoch is `now_us / slab_us`, a later epoch
+//! mapping to the same ring position (`epoch % slabs`) evicts the earlier
+//! occupant wholesale, and `merged(name, now, window)` folds exactly the
+//! surviving slabs whose epoch lies in
+//! `[(now - window)/slab_us, now/slab_us]`. Cases come from the vendored
+//! offline proptest shim, whose seeds are fixed per test name, so a failure
+//! reproduces exactly on every machine.
+
+use std::collections::HashMap;
+
+use m3d_obs::WindowedHistogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Reference occupant of one ring position: the epoch it belongs to plus
+/// the count/min/max of the samples recorded into it.
+#[derive(Debug, Clone, Copy)]
+struct ModelSlab {
+    epoch: u64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+/// Replay `samples` (absolute tick, value) through the documented ring
+/// semantics: position `epoch % slabs` holds only its latest epoch.
+fn model_ring(samples: &[(u64, f64)], slab_us: u64, slabs: u64) -> HashMap<u64, ModelSlab> {
+    let mut ring: HashMap<u64, ModelSlab> = HashMap::new();
+    for &(now_us, value) in samples {
+        let epoch = now_us / slab_us;
+        let pos = epoch % slabs;
+        let slab = ring.entry(pos).or_insert(ModelSlab {
+            epoch,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        });
+        if slab.epoch != epoch {
+            // A newer epoch reuses the position: the old occupant is
+            // dropped wholesale (drop-oldest), exactly like the lazy
+            // reset in `WindowedHistogram::record`.
+            *slab = ModelSlab {
+                epoch,
+                count: 0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            };
+        }
+        slab.count += 1;
+        slab.min = slab.min.min(value);
+        slab.max = slab.max.max(value);
+    }
+    ring
+}
+
+/// Fold the model slabs overlapping `[(now - window)/slab_us, now/slab_us]`
+/// into (count, min, max).
+fn model_merged(
+    ring: &HashMap<u64, ModelSlab>,
+    slab_us: u64,
+    now_us: u64,
+    window_us: u64,
+) -> (u64, f64, f64) {
+    let hi = now_us / slab_us;
+    let lo = now_us.saturating_sub(window_us) / slab_us;
+    let mut count = 0u64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for slab in ring.values() {
+        if slab.epoch >= lo && slab.epoch <= hi {
+            count += slab.count;
+            min = min.min(slab.min);
+            max = max.max(slab.max);
+        }
+    }
+    (count, min, max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every (now, window) query agrees with the reference model after an
+    /// arbitrary monotonic record stream — including streams that wrap the
+    /// ring many times and windows longer than the ring's span.
+    #[test]
+    fn merged_matches_the_reference_model_across_wraparound(
+        slab_us in 1u64..=700,
+        slabs in 1usize..=12,
+        deltas in vec(0u64..=5_000u64, 1..64),
+        window_us in 0u64..=40_000,
+        probe_back_us in 0u64..=10_000,
+    ) {
+        let mut w = WindowedHistogram::new(slab_us, slabs);
+        let mut samples = Vec::with_capacity(deltas.len());
+        let mut now_us = 0u64;
+        for (i, delta) in deltas.iter().enumerate() {
+            now_us += delta;
+            // Values keyed to the sample index so min/max pin *which*
+            // samples survived eviction, not just how many.
+            let value = (i as f64) + 1.0;
+            w.record(now_us, value);
+            samples.push((now_us, value));
+        }
+        let ring = model_ring(&samples, slab_us, slabs as u64);
+
+        // Query both at the stream's end and at an arbitrary point behind
+        // it: `merged` takes the caller's `now` on trust, so epochs ahead
+        // of a stale `now` must simply fall outside the window.
+        for &query_now in &[now_us, now_us.saturating_sub(probe_back_us)] {
+            let (count, min, max) = model_merged(&ring, slab_us, query_now, window_us);
+            let snap = w.merged("prop", query_now, window_us);
+            prop_assert_eq!(snap.count, count);
+            if count > 0 {
+                prop_assert_eq!(snap.min, min);
+                prop_assert_eq!(snap.max, max);
+            }
+        }
+    }
+
+    /// An unbounded window sees exactly the samples the ring retained:
+    /// total recorded minus everything evicted by wraparound, never a
+    /// stale resurrected slab. (A merely span-long window can see fewer —
+    /// a tick stream that jumps farther than the span strands a still-live
+    /// slab behind the window's lower epoch bound.)
+    #[test]
+    fn unbounded_window_counts_exactly_the_retained_samples(
+        slab_us in 1u64..=300,
+        slabs in 1usize..=8,
+        deltas in vec(0u64..=2_000u64, 1..48),
+    ) {
+        let mut w = WindowedHistogram::new(slab_us, slabs);
+        let mut samples = Vec::with_capacity(deltas.len());
+        let mut now_us = 0u64;
+        for (i, delta) in deltas.iter().enumerate() {
+            now_us += delta;
+            w.record(now_us, i as f64);
+            samples.push((now_us, i as f64));
+        }
+        let ring = model_ring(&samples, slab_us, slabs as u64);
+        let retained: u64 = ring.values().map(|s| s.count).sum();
+        // `saturating_sub` pins the window's lower epoch bound at 0, so
+        // every retained slab (epoch <= the last recorded epoch) folds in.
+        let snap = w.merged("prop", now_us, u64::MAX);
+        prop_assert_eq!(snap.count, retained);
+        prop_assert!(retained <= samples.len() as u64);
+    }
+}

@@ -12,7 +12,11 @@
 //! the previous response lands). Points are drawn by the vendored `rand`
 //! xoshiro generator from a small (app × design × seed) pool, so the
 //! server's memo cache warms quickly — which is the point: the probe
-//! measures warm-path throughput. Prints a single-line JSON summary to
+//! measures warm-path throughput. `--conns` well above the daemon's
+//! `--workers` is the interesting setting (and what `ci.sh` runs, 64
+//! connections against 2 workers): the epoll event loop multiplexes all
+//! of them on one thread, so every connection must still get every
+//! answer. Prints a single-line JSON summary to
 //! stdout:
 //!
 //! ```text

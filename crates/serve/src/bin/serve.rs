@@ -25,7 +25,11 @@
 //! * `--jobs N` — batch-engine lanes and experiment pool size (1..=64).
 //! * `--queue-cap N` — admission-queue bound (default 64); a full queue
 //!   rejects with a structured `overloaded` error.
-//! * `--workers N` — queue-draining worker threads (default 2).
+//! * `--workers N` — queue-draining worker threads (default 2). This
+//!   bounds *compute* concurrency only: connections are multiplexed on
+//!   one epoll event loop, so hundreds of clients on 2 workers is a
+//!   supported (and benchmarked — see the `serve_probe` load tier in
+//!   `BENCH_repro.json`) configuration, not an overload.
 //! * `--slow-ms N` — slow-request log threshold in milliseconds
 //!   (default 500; 0 disables). Requests at or over it land in the
 //!   `telemetry` method's slow log with a queue/handle span tree.

@@ -27,7 +27,7 @@ use std::time::Instant;
 /// Every counter the server maintains. [`Engine::stats`] reports each of
 /// them unconditionally (zeros included), so monitoring clients can tell
 /// "never happened" apart from "not a counter".
-pub const SERVE_COUNTERS: [&str; 13] = [
+pub const SERVE_COUNTERS: [&str; 14] = [
     "serve.requests",
     "serve.requests.sim",
     "serve.requests.experiment",
@@ -40,8 +40,28 @@ pub const SERVE_COUNTERS: [&str; 13] = [
     "serve.deadline_expired",
     "serve.errors",
     "serve.plan_chunks",
+    "serve.plan_aborted",
     "serve.write_errors",
 ];
+
+/// Sentinel for "no injected panic" — [`inject_sim_panic_seed`] cannot
+/// arm `u64::MAX` itself, which no real request uses.
+const NO_INJECTED_PANIC: u64 = u64::MAX;
+
+static INJECTED_PANIC_SEED: std::sync::atomic::AtomicU64 =
+    std::sync::atomic::AtomicU64::new(NO_INJECTED_PANIC);
+
+/// Test hook: arm [`Engine::sim_group`] to panic whenever a request
+/// carries a point with this exact seed (`None` disarms). The serve wire
+/// tests use it to prove a panicking request is answered with the `panic`
+/// error kind and leaves the worker pool able to answer subsequent
+/// requests. Process-global; pick a seed no other concurrent test uses.
+pub fn inject_sim_panic_seed(seed: Option<u64>) {
+    INJECTED_PANIC_SEED.store(
+        seed.unwrap_or(NO_INJECTED_PANIC),
+        std::sync::atomic::Ordering::SeqCst,
+    );
+}
 
 /// The per-method request counter for a method (`serve.requests.sim`,
 /// ...). Every name is in [`SERVE_COUNTERS`], so `stats` and `telemetry`
@@ -223,6 +243,12 @@ impl Engine {
         reqs: &[&SimRequest],
         deadline: Option<Instant>,
     ) -> Vec<Result<Json, WireError>> {
+        let armed = INJECTED_PANIC_SEED.load(std::sync::atomic::Ordering::SeqCst);
+        if armed != NO_INJECTED_PANIC
+            && reqs.iter().any(|r| r.points.iter().any(|p| p.seed == armed))
+        {
+            panic!("injected sim panic (seed {armed})");
+        }
         let all: Vec<SimPoint> = reqs.iter().flat_map(|r| r.points.iter().cloned()).collect();
         let mut batch = SimBatch::new(self.ctx.jobs());
         if let Some(d) = deadline {
@@ -266,16 +292,20 @@ impl Engine {
 
     /// Run a `plan` design-space search. `emit` receives one rendered
     /// partial line (no trailing newline) per completed chunk — the
-    /// frontier over everything processed so far — and the return value is
-    /// the final outcome for the terminating response line. The emitted
-    /// sequence and the outcome are pure functions of the spec: identical
-    /// across worker counts and across the daemon and `--oneshot` paths.
+    /// frontier over everything processed so far — and returns whether the
+    /// receiver still wants the stream: `false` (the daemon's "the client
+    /// hung up" signal) stops the search at the next chunk boundary,
+    /// counts `serve.plan_aborted`, and fails with the `aborted` kind. The
+    /// return value is the final outcome for the terminating response
+    /// line. The emitted sequence and the outcome are pure functions of
+    /// the spec: identical across worker counts and across the daemon and
+    /// `--oneshot` paths.
     pub fn plan(
         &self,
         id: i64,
         params: &Json,
         deadline: Option<Instant>,
-        mut emit: impl FnMut(&str),
+        mut emit: impl FnMut(&str) -> bool,
     ) -> Result<Json, WireError> {
         let spec = SearchSpace::from_json(params).map_err(plan_error)?;
         let opts = SearchOptions {
@@ -285,10 +315,15 @@ impl Engine {
         };
         run_search(self.ctx.space(), &spec, &opts, |chunk| {
             m3d_obs::add("serve.plan_chunks", 1);
-            emit(&partial_line(id, chunk_json(chunk)));
+            emit(&partial_line(id, chunk_json(chunk)))
         })
         .map(|out| outcome_json(&out))
-        .map_err(plan_error)
+        .map_err(|e| {
+            if e == SearchError::Aborted {
+                m3d_obs::add("serve.plan_aborted", 1);
+            }
+            plan_error(e)
+        })
     }
 
     /// A live metrics snapshot plus server-level gauges. The snapshot
@@ -365,7 +400,7 @@ impl Engine {
             Method::Planner => Ok(self.planner()),
             // Partial chunks are dropped on this single-response path; use
             // [`Engine::plan`] (or `answer_lines`) to observe the stream.
-            Method::Plan => self.plan(req.id, &req.params, deadline, |_| {}),
+            Method::Plan => self.plan(req.id, &req.params, deadline, |_| true),
             Method::Stats => Ok(self.stats()),
             Method::Telemetry => self.telemetry(&req.params),
         }
@@ -394,7 +429,10 @@ impl Engine {
             let deadline = req
                 .deadline_ms
                 .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
-            self.plan(req.id, &req.params, deadline, |l| out.push(l.to_owned()))
+            self.plan(req.id, &req.params, deadline, |l| {
+                out.push(l.to_owned());
+                true
+            })
         } else {
             self.answer_request(&req)
         };
@@ -435,13 +473,15 @@ impl Engine {
 }
 
 /// Map a search failure onto the wire error taxonomy: spec problems are
-/// the client's (`bad_request`), expired deadlines keep their kind, and
-/// simulator rejections are `invalid` like everywhere else.
+/// the client's (`bad_request`), expired deadlines keep their kind,
+/// simulator rejections are `invalid` like everywhere else, and a search
+/// the emitter cancelled (the client hung up) is `aborted`.
 fn plan_error(e: SearchError) -> WireError {
     let kind = match &e {
         SearchError::Spec(_) => ErrorKind::BadRequest,
         SearchError::Deadline => ErrorKind::Deadline,
         SearchError::Sim(_) => ErrorKind::Invalid,
+        SearchError::Aborted => ErrorKind::Aborted,
     };
     WireError::new(kind, e.to_string())
 }

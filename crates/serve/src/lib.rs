@@ -26,23 +26,36 @@
 //!
 //! # Production shape
 //!
+//! * **Event-loop core** — one epoll readiness loop (dependency-free raw
+//!   syscall bindings, see [`server`]) owns the listener and every
+//!   client socket; connections cost file descriptors, not threads, so
+//!   connections ≫ workers is the designed-for regime. Workers hand
+//!   response lines back through an eventfd-woken mailbox and never
+//!   touch a socket.
 //! * **Backpressure** — heavy work (`sim`, `experiment`) passes through a
 //!   bounded admission queue; a full queue rejects with a structured
 //!   `overloaded` error instead of buffering unboundedly.
 //! * **Deadlines** — a request may carry `deadline_ms`; work that cannot
 //!   start (or, for `sim`, whose warm-up groups cannot start) before the
 //!   deadline is cancelled cleanly with a `deadline` error.
-//! * **Micro-batching** — a worker draining the queue coalesces every
-//!   queued deadline-free `sim` request into one [`SimBatch`] submission,
-//!   so concurrent requests sharing a warm key share one warm-up.
-//! * **Graceful shutdown** — SIGTERM/ctrl-c stop the accept loop, drain
+//! * **Micro-batching** — a worker draining the queue coalesces queued
+//!   deadline-free `sim` requests (up to 16 per group) into one
+//!   [`SimBatch`] submission, so concurrent requests sharing a warm key
+//!   share one warm-up.
+//! * **Dead-client cancellation** — a client that hangs up mid-`plan`
+//!   stops its search at the next chunk boundary (counted in
+//!   `serve.plan_aborted`) instead of burning workers on answers nobody
+//!   will read.
+//! * **Graceful shutdown** — SIGTERM/ctrl-c stop the accept loop,
+//!   dispatch every request already buffered on a connection, drain
 //!   queued and in-flight work, flush every reply, then exit 0.
 //! * **Observability** — per-request spans plus `serve.requests` (total
 //!   and per method: `serve.requests.sim`, `.experiment`, `.planner`,
 //!   `.plan`, `.stats`, `.telemetry`), `serve.coalesced`,
 //!   `serve.rejected`, `serve.deadline_expired`, `serve.errors`,
-//!   `serve.write_errors` counters and a `serve.latency_us` histogram —
-//!   cumulative totals via `stats`, rolling windows via `telemetry`.
+//!   `serve.write_errors`, `serve.plan_chunks`, `serve.plan_aborted`
+//!   counters and a `serve.latency_us` histogram — cumulative totals via
+//!   `stats`, rolling windows via `telemetry`.
 //!
 //! The determinism contract of the batch engine carries over the wire: a
 //! `sim` response is a pure function of its own point list (never of what
@@ -143,7 +156,7 @@
 //! ## Error kinds
 //!
 //! Every failure is `{"id":...,"ok":false,"error":{"kind":...,"message":...}}`
-//! with one of ten kinds ([`protocol::ErrorKind`]):
+//! with one of eleven kinds ([`protocol::ErrorKind`]):
 //!
 //! | kind             | meaning                                              |
 //! |------------------|------------------------------------------------------|
@@ -160,6 +173,8 @@
 //! | `panic`          | the handler panicked (message attached); the server  |
 //! |                  | survives                                             |
 //! | `shutdown`       | draining after SIGTERM — no new work admitted        |
+//! | `aborted`        | the client hung up mid-`plan`; only ever "sent" to a |
+//! |                  | dead connection, so a live client never sees it      |
 //!
 //! ## Deadline and overload semantics
 //!

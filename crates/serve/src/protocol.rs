@@ -147,6 +147,11 @@ pub enum ErrorKind {
     Panic,
     /// The server is shutting down and no longer admits work.
     Shutdown,
+    /// The client hung up while a streaming `plan` was still running, so
+    /// the search stopped at the next chunk boundary. The terminating
+    /// line carrying this kind is only ever "sent" to the dead
+    /// connection — a live client can never observe it.
+    Aborted,
 }
 
 impl ErrorKind {
@@ -163,6 +168,7 @@ impl ErrorKind {
             ErrorKind::CapExhausted => "cap_exhausted",
             ErrorKind::Panic => "panic",
             ErrorKind::Shutdown => "shutdown",
+            ErrorKind::Aborted => "aborted",
         }
     }
 }

@@ -8,6 +8,14 @@
 //! window is driven by the engine's own monotonic clock (microseconds
 //! since engine construction), so tests can call the `*_at` variants
 //! with hand-picked ticks and get deterministic expiry.
+//!
+//! The epoll-mailbox handoff does not move these measurement points:
+//! `queue_us` still ends when a worker claims the request, and
+//! `total_us` still ends when the worker hands the response line off for
+//! delivery (now: pushes it into the event loop's mailbox; before: wrote
+//! the socket itself). Time the event loop spends flushing a slow
+//! client's write backlog is deliberately outside `total_us` — it
+//! measures the *daemon's* work, not the client's read rate.
 
 use crate::engine::method_counter;
 use crate::protocol::Method;

@@ -426,6 +426,205 @@ fn telemetry_reports_rolling_quantiles_and_flight_records_from_a_live_daemon() {
     handle.shutdown();
 }
 
+/// Read one serve counter out of a `stats` reply.
+fn stats_counter(j: &Json, name: &str) -> i64 {
+    match j
+        .get("result")
+        .and_then(|r| r.get("metrics"))
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get(name))
+    {
+        Some(Json::Int(n)) => *n,
+        other => panic!("counter {name} missing from stats: {other:?}"),
+    }
+}
+
+#[test]
+fn panicking_request_is_answered_and_leaves_the_pool_alive() {
+    // Regression test for the uncaught-panic worker-death bug: every sim
+    // path (including the solo fallback arm) must run behind the panic
+    // guard, so a poisoned request answers `panic` and the pool keeps
+    // serving. The injected seed is unique to this test.
+    const POISON: u64 = 0xBAD5_EED0;
+    m3d_serve::engine::inject_sim_panic_seed(Some(POISON));
+    let (addr, handle) = start(64);
+    let mut c = Client::connect(&addr).expect("connect");
+    // Two poisoned requests: with the old bug each one killed a worker,
+    // which with the default pool of two left nobody to answer anything.
+    for k in 0..2i64 {
+        let j = c
+            .request(
+                300 + k,
+                Method::Sim,
+                Json::obj([("points", Json::arr([sim_params("Gcc", POISON, 1_000, 800)]))]),
+                None,
+            )
+            .expect("poisoned request still gets a reply");
+        assert_eq!(error_kind(&j).as_deref(), Some("panic"), "{j:?}");
+    }
+    // The pool must still answer queued work after both panics.
+    for k in 0..3i64 {
+        let j = c
+            .request(
+                310 + k,
+                Method::Sim,
+                Json::obj([(
+                    "points",
+                    Json::arr([sim_params("Gcc", 0xBAD5_EE00 + k as u64, 1_000, 800)]),
+                )]),
+                None,
+            )
+            .expect("pool survives the panics");
+        assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{j:?}");
+    }
+    m3d_serve::engine::inject_sim_panic_seed(None);
+    handle.shutdown();
+}
+
+#[test]
+fn hung_up_plan_client_aborts_the_search() {
+    // Regression test for the dead-client plan bug: a client that drops
+    // mid-stream must cancel the search at the next chunk boundary
+    // (counted in serve.plan_aborted) instead of simulating every
+    // remaining chunk for nobody.
+    let (addr, handle) = start(64);
+    let before = {
+        let mut c = Client::connect(&addr).expect("connect");
+        let j = c
+            .request(400, Method::Stats, Json::Obj(Vec::new()), None)
+            .expect("stats");
+        stats_counter(&j, "serve.plan_aborted")
+    };
+
+    // A wide spec at an interval no other test uses (so nothing is memo
+    // cached and chunks take real simulation time), chunked small so the
+    // abort lands after only a few of the ~128 chunks.
+    let apps = [
+        "Astar", "Bzip2", "Gcc", "Gobmk", "Hmmer", "Lbm", "Libquantum", "Mcf", "Milc", "Namd",
+        "Omnetpp", "Povray", "Sjeng", "Soplex", "Xalancbmk", "H264Ref", "Gromacs",
+    ];
+    let params = Json::obj([
+        ("apps", Json::Arr(apps.map(Json::from).to_vec())),
+        (
+            "vdds",
+            Json::Arr((0..10).map(|i| Json::from(0.55 + 0.05 * i as f64)).collect()),
+        ),
+        ("warmup", Json::from(130u64)),
+        ("measure", Json::from(170u64)),
+        ("chunk", Json::from(8u64)),
+    ]);
+    {
+        let mut c = Client::connect(&addr).expect("connect");
+        c.send(401, Method::Plan, params, None).expect("send plan");
+        let first = c.read_line().expect("first partial");
+        assert!(first.contains(r#""partial":true"#), "{first}");
+        // Dropping the client closes the socket with partials unread: the
+        // kernel resets the connection and the server's next flush fails.
+    }
+
+    // The abort is detected at the next chunk boundary after the failed
+    // write; poll stats over a fresh connection until the counter moves.
+    let mut c = Client::connect(&addr).expect("connect");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let j = c
+            .request(402, Method::Stats, Json::Obj(Vec::new()), None)
+            .expect("stats");
+        if stats_counter(&j, "serve.plan_aborted") > before {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "serve.plan_aborted never advanced: the search kept running for a dead client"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn requests_buffered_at_shutdown_are_answered_not_dropped() {
+    // Requests whose bytes reached the server before the stop signal must
+    // each get a terminating line — a real response or a structured
+    // `shutdown` error — never a silent close.
+    let (addr, handle) = start(64);
+    let mut c = Client::connect(&addr).expect("connect");
+    for k in 0..4i64 {
+        c.send(
+            500 + k,
+            Method::Sim,
+            Json::obj([(
+                "points",
+                Json::arr([sim_params("Mcf", 0x51D0_0000 + k as u64, 2_000, 1_500)]),
+            )]),
+            None,
+        )
+        .expect("send");
+    }
+    // All four lines are in the server's kernel buffer (loopback write
+    // completes delivery); stop before reading anything back.
+    handle.shutdown();
+    let mut ids = Vec::new();
+    for _ in 0..4 {
+        let line = c.read_line().expect("buffered request answered");
+        let j = Json::parse(&line).expect("parses");
+        let ok = j.get("ok") == Some(&Json::Bool(true));
+        let kind = error_kind(&j);
+        assert!(
+            ok || kind.as_deref() == Some("shutdown"),
+            "buffered request must answer ok or shutdown: {line}"
+        );
+        if let Some(Json::Int(id)) = j.get("id") {
+            ids.push(*id);
+        }
+    }
+    ids.sort_unstable();
+    assert_eq!(ids, (500..504).collect::<Vec<i64>>());
+    assert!(c.read_line().is_err(), "then the connection closes");
+}
+
+#[test]
+fn many_connections_share_two_workers() {
+    // Connections ≫ workers: 24 concurrent connections against the
+    // default two-worker pool, each pipelining a sim and a stats request.
+    // Every connection must get both answers — the event loop multiplexes
+    // all sockets on one thread, so idle connections cannot starve busy
+    // ones (or hold a thread hostage like thread-per-connection did).
+    let (addr, handle) = start(64);
+    std::thread::scope(|scope| {
+        for conn in 0..24i64 {
+            let addr = &addr;
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.send(
+                    600 + conn,
+                    Method::Sim,
+                    // One shared seed: after the first miss these are memo
+                    // hits, keeping 24 connections cheap.
+                    Json::obj([("points", Json::arr([sim_params("Gcc", 0x3A2E_0001, 1_000, 900)]))]),
+                    None,
+                )
+                .expect("send sim");
+                c.send(700 + conn, Method::Stats, Json::Obj(Vec::new()), None)
+                    .expect("send stats");
+                let mut got = [false; 2];
+                for _ in 0..2 {
+                    let line = c.read_line().expect("reply");
+                    let j = Json::parse(&line).expect("parses");
+                    assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{line}");
+                    match j.get("id") {
+                        Some(Json::Int(id)) if *id == 600 + conn => got[0] = true,
+                        Some(Json::Int(id)) if *id == 700 + conn => got[1] = true,
+                        other => panic!("unexpected id {other:?} on connection {conn}"),
+                    }
+                }
+                assert!(got[0] && got[1], "both replies arrived");
+            });
+        }
+    });
+    handle.shutdown();
+}
+
 #[test]
 fn pipelined_requests_are_all_answered_and_shutdown_closes_cleanly() {
     let (addr, handle) = start(64);
