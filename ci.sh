@@ -103,6 +103,76 @@ printf '{"id":1,"method":"stats"}\n' | ./target/release/serve --oneshot --quick 
   exit 1
 }
 
+echo "== sharded serve smoke test (router, 2 shards, whole-tree shutdown) =="
+# The router fronts two spawned shard daemons; clients see the same wire
+# protocol on one ephemeral port. SIGTERM must drain the whole process
+# tree: the router exits 0 and both spawned shard pids are gone.
+ROUTER_PORT_FILE=target/router-ci.port
+ROUTER_LOG=target/router-ci.log
+rm -f "$ROUTER_PORT_FILE" "$ROUTER_LOG"
+./target/release/router --quick --shards 2 --port-file "$ROUTER_PORT_FILE" 2>"$ROUTER_LOG" &
+ROUTER_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$ROUTER_PORT_FILE" ] && break
+  kill -0 "$ROUTER_PID" 2>/dev/null || {
+    echo "ci.sh: router died before listening" >&2
+    cat "$ROUTER_LOG" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+ROUTER_ADDR=$(cat "$ROUTER_PORT_FILE")
+[ -n "$ROUTER_ADDR" ] || {
+  echo "ci.sh: router never wrote its port file" >&2
+  exit 1
+}
+SHARD_PIDS=$(sed -n 's/.*spawned shard [0-9]* pid \([0-9]*\) on .*/\1/p' "$ROUTER_LOG")
+[ "$(echo "$SHARD_PIDS" | wc -w)" -eq 2 ] || {
+  echo "ci.sh: router did not report 2 spawned shard pids" >&2
+  cat "$ROUTER_LOG" >&2
+  kill -9 "$ROUTER_PID" 2>/dev/null || true
+  exit 1
+}
+./target/release/loadgen --addr "$ROUTER_ADDR" --smoke || {
+  echo "ci.sh: sharded smoke queries failed" >&2
+  kill -9 "$ROUTER_PID" 2>/dev/null || true
+  exit 1
+}
+./target/release/loadgen --addr "$ROUTER_ADDR" --conns 8 --requests 6 || {
+  echo "ci.sh: sharded load smoke failed" >&2
+  kill -9 "$ROUTER_PID" 2>/dev/null || true
+  exit 1
+}
+# The router's own stats must show the fan-out counters and the live
+# shard topology.
+ROUTER_STATS=$(exec 3<>"/dev/tcp/${ROUTER_ADDR%:*}/${ROUTER_ADDR##*:}" \
+  && printf '{"id":1,"method":"stats"}\n' >&3 && IFS= read -r L <&3 && echo "$L")
+echo "$ROUTER_STATS" | grep -q '"serve.shard_subrequests"' || {
+  echo "ci.sh: router stats lack the serve.shard_* counters" >&2
+  kill -9 "$ROUTER_PID" 2>/dev/null || true
+  exit 1
+}
+echo "$ROUTER_STATS" | grep -q '"topology"' || {
+  echo "ci.sh: router stats lack the shard topology block" >&2
+  kill -9 "$ROUTER_PID" 2>/dev/null || true
+  exit 1
+}
+kill -TERM "$ROUTER_PID"
+ROUTER_RC=0
+wait "$ROUTER_PID" || ROUTER_RC=$?
+[ "$ROUTER_RC" -eq 0 ] || {
+  echo "ci.sh: router did not shut down gracefully (exit $ROUTER_RC)" >&2
+  exit 1
+}
+for pid in $SHARD_PIDS; do
+  if kill -0 "$pid" 2>/dev/null; then
+    echo "ci.sh: shard pid $pid survived router shutdown" >&2
+    kill -9 "$pid" 2>/dev/null || true
+    exit 1
+  fi
+done
+rm -f "$ROUTER_PORT_FILE" "$ROUTER_LOG"
+
 echo "== perf_baseline --check (counter-drift gate) =="
 # Deterministic integer counters (solver sweeps, warm-start hits, search
 # candidates, µops, batch-engine points/hits/reuses/cycles) must match the
@@ -155,6 +225,16 @@ grep -q '"conns": 128' BENCH_repro.json || {
 }
 grep -q '"p99_us"' BENCH_repro.json || {
   echo "ci.sh: BENCH_repro.json load tier lacks the p99 latency" >&2
+  exit 1
+}
+# The shard tier: the same closed loop through a 2-shard router, with the
+# router's serve.shard_* fan-out counters captured alongside.
+grep -q '"shards": 2' BENCH_repro.json || {
+  echo "ci.sh: BENCH_repro.json lacks the serve_probe shard tier" >&2
+  exit 1
+}
+grep -q '"serve.shard_' BENCH_repro.json || {
+  echo "ci.sh: BENCH_repro.json lacks the serve.shard_* counters" >&2
   exit 1
 }
 grep -q '"search_probe"' BENCH_repro.json || {

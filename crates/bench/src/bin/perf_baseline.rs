@@ -83,12 +83,15 @@ fn main() {
             eprintln!(
                 "[perf_baseline] serve probe: {:.1} rps warm daemon vs \
                  {:.1} rps cold oneshot ({:.1}x); load {:.1} rps \
-                 p99 {} us",
+                 p99 {} us; {} shards {:.1} rps p99 {} us",
                 p.warm_rps,
                 p.cold_rps,
                 p.speedup(),
                 p.load_rps,
-                p.load_p99_us
+                p.load_p99_us,
+                m3d_bench::serve_probe::SHARD_COUNT,
+                p.shard_rps,
+                p.shard_p99_us
             );
             Some(p)
         }

@@ -21,6 +21,13 @@
 //! accept, line framing, mailbox handoff, write backlog — from
 //! simulation cost.
 //!
+//! Third: *what does the shard router cost over a single daemon?* The
+//! **shard** phase runs the same closed loop against `serve --shards
+//! `[`SHARD_COUNT`] — a router process fronting spawned shard daemons —
+//! and records throughput plus p50/p99 latency, along with the router's
+//! own `serve.*` counters (which include the `serve.shard_*` family:
+//! sub-requests fanned out, deaths, re-routes).
+//!
 //! All phases run `--quick --jobs 1`. The numbers are wall-clock and
 //! machine-dependent, so the resulting `serve_probe` block in
 //! `BENCH_repro.json` is informational and never gated — unlike the
@@ -55,6 +62,12 @@ pub const LOAD_WORKERS: usize = 2;
 /// Closed-loop requests each load-phase connection issues.
 pub const LOAD_REQUESTS_PER_CONN: usize = 8;
 
+/// Shard daemons behind the router in the shard phase (`--shards N`).
+pub const SHARD_COUNT: usize = 2;
+
+/// Closed-loop requests timed in the shard phase.
+pub const SHARD_REQUESTS: usize = 60;
+
 /// The fixed point pool: small enough that the warm phase is cache-hit
 /// dominated after one pass, varied enough to exercise distinct warm keys.
 const POOL_APPS: [&str; 3] = ["Gcc", "Mcf", "Bzip2"];
@@ -74,6 +87,16 @@ pub struct ServeProbe {
     pub load_p50_us: u64,
     /// 99th-percentile request latency in the load phase, microseconds.
     pub load_p99_us: u64,
+    /// Closed-loop requests per second through the [`SHARD_COUNT`]-shard
+    /// router.
+    pub shard_rps: f64,
+    /// Median request latency in the shard phase, microseconds.
+    pub shard_p50_us: u64,
+    /// 99th-percentile request latency in the shard phase, microseconds.
+    pub shard_p99_us: u64,
+    /// `serve.*` counters from the router's final `stats` answer
+    /// (includes the `serve.shard_*` family).
+    pub shard_counters: Vec<(String, u64)>,
     /// `serve.*` counters from the warm daemon's final `stats` answer.
     pub counters: Vec<(String, u64)>,
 }
@@ -189,6 +212,23 @@ fn spawn_daemon(serve: &PathBuf, label: &str, extra: &[&str]) -> Result<(ChildGu
     Ok((child, addr))
 }
 
+/// Pull every `serve.*` counter out of a `stats` reply.
+fn serve_counters(stats: &Json) -> Vec<(String, u64)> {
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    if let Some(Json::Obj(cs)) = stats
+        .get("result")
+        .and_then(|r| r.get("metrics"))
+        .and_then(|m| m.get("counters"))
+    {
+        for (name, v) in cs {
+            if let (true, Json::Int(i)) = (name.starts_with("serve."), v) {
+                counters.push((name.clone(), (*i).max(0) as u64));
+            }
+        }
+    }
+    counters
+}
+
 fn warm_phase(serve: &PathBuf) -> Result<(f64, Vec<(String, u64)>), String> {
     let (child, addr) = spawn_daemon(serve, "warm", &[])?;
     let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
@@ -221,18 +261,7 @@ fn warm_phase(serve: &PathBuf) -> Result<(f64, Vec<(String, u64)>), String> {
     let warm_s = t0.elapsed().as_secs_f64();
 
     let stats = expect_ok(&call(r#"{"id":999,"method":"stats"}"#)?)?;
-    let mut counters: Vec<(String, u64)> = Vec::new();
-    if let Some(Json::Obj(cs)) = stats
-        .get("result")
-        .and_then(|r| r.get("metrics"))
-        .and_then(|m| m.get("counters"))
-    {
-        for (name, v) in cs {
-            if let (true, Json::Int(i)) = (name.starts_with("serve."), v) {
-                counters.push((name.clone(), (*i).max(0) as u64));
-            }
-        }
-    }
+    let counters = serve_counters(&stats);
     if counters.is_empty() {
         return Err("stats answer carried no serve.* counters".to_owned());
     }
@@ -357,7 +386,91 @@ fn load_phase(serve: &PathBuf) -> Result<(f64, u64, u64), String> {
     Ok((lat_us.len() as f64 / load_s, quantile(0.50), quantile(0.99)))
 }
 
-/// Run all three phases against the sibling `serve` binary. Returns an
+/// What the shard phase measures: throughput, latency quantiles, and
+/// the router's own `serve.*` counters (including `serve.shard_*`).
+struct ShardTier {
+    rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    counters: Vec<(String, u64)>,
+}
+
+/// The shard phase: the warm-phase closed loop, but against `serve
+/// --shards `[`SHARD_COUNT`] — a router process fronting spawned shard
+/// daemons, every request fanned to the shard owning its point's key
+/// slice.
+fn shard_phase(serve: &PathBuf) -> Result<ShardTier, String> {
+    let shards = SHARD_COUNT.to_string();
+    let (mut child, addr) = spawn_daemon(serve, "shard", &["--shards", &shards])?;
+    let stream = TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut call = |line: &str| -> Result<String, String> {
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| format!("write: {e}"))?;
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(0) => Err("router closed the connection".to_owned()),
+            Ok(_) => Ok(reply.trim_end().to_owned()),
+            Err(e) => Err(format!("read: {e}")),
+        }
+    };
+
+    // First pass warms every shard's memo cache, untimed.
+    for k in 0..POOL_APPS.len() * POOL_SEEDS.len() {
+        let (app, seed) = pool_point(k);
+        expect_ok(&call(&sim_line(k, app, seed))?)?;
+    }
+    let mut lat_us = Vec::with_capacity(SHARD_REQUESTS);
+    let t0 = Instant::now();
+    for k in 0..SHARD_REQUESTS {
+        let (app, seed) = pool_point(k);
+        let sent = Instant::now();
+        expect_ok(&call(&sim_line(100 + k, app, seed))?)?;
+        lat_us.push(sent.elapsed().as_micros() as u64);
+    }
+    let shard_s = t0.elapsed().as_secs_f64();
+
+    let stats = expect_ok(&call(r#"{"id":999,"method":"stats"}"#)?)?;
+    let counters = serve_counters(&stats);
+    if !counters.iter().any(|(n, _)| n.starts_with("serve.shard_")) {
+        return Err("router stats carried no serve.shard_* counters".to_owned());
+    }
+
+    // Graceful stop: SIGKILL (the guard's fallback) would orphan the
+    // router's spawned shard children; SIGTERM lets it drain and reap
+    // them.
+    let pid = child.0.id().to_string();
+    let _ = Command::new("kill").arg(&pid).status();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.0.try_wait() {
+            Ok(Some(_)) => break,
+            Ok(None) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            _ => break, // the guard's kill+wait cleans up on the way out
+        }
+    }
+    drop(child);
+
+    if shard_s <= 0.0 || lat_us.is_empty() {
+        return Err("shard phase measured zero wall time".to_owned());
+    }
+    lat_us.sort_unstable();
+    let quantile = |q: f64| lat_us[((lat_us.len() - 1) as f64 * q).round() as usize];
+    Ok(ShardTier {
+        rps: SHARD_REQUESTS as f64 / shard_s,
+        p50_us: quantile(0.50),
+        p99_us: quantile(0.99),
+        counters,
+    })
+}
+
+/// Run all four phases against the sibling `serve` binary. Returns an
 /// error (and the caller skips the block) when the binary is missing —
 /// e.g. a `cargo run -p m3d-bench` without a prior workspace build.
 pub fn measure_serve() -> Result<ServeProbe, String> {
@@ -365,12 +478,17 @@ pub fn measure_serve() -> Result<ServeProbe, String> {
     let (warm_rps, counters) = warm_phase(&serve)?;
     let cold_rps = cold_phase(&serve)?;
     let (load_rps, load_p50_us, load_p99_us) = load_phase(&serve)?;
+    let shard = shard_phase(&serve)?;
     Ok(ServeProbe {
         warm_rps,
         cold_rps,
         load_rps,
         load_p50_us,
         load_p99_us,
+        shard_rps: shard.rps,
+        shard_p50_us: shard.p50_us,
+        shard_p99_us: shard.p99_us,
+        shard_counters: shard.counters,
         counters,
     })
 }
@@ -392,6 +510,25 @@ pub fn serve_probe_json(p: &ServeProbe) -> Json {
                 ("rps", Json::from(p.load_rps)),
                 ("p50_us", Json::from(p.load_p50_us)),
                 ("p99_us", Json::from(p.load_p99_us)),
+            ]),
+        ),
+        (
+            "shard",
+            Json::obj([
+                ("shards", Json::from(SHARD_COUNT)),
+                ("requests", Json::from(SHARD_REQUESTS)),
+                ("rps", Json::from(p.shard_rps)),
+                ("p50_us", Json::from(p.shard_p50_us)),
+                ("p99_us", Json::from(p.shard_p99_us)),
+                (
+                    "counters",
+                    Json::Obj(
+                        p.shard_counters
+                            .iter()
+                            .map(|(n, v)| (n.clone(), Json::from(*v)))
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
         (
@@ -429,6 +566,10 @@ mod tests {
             load_rps: 900.0,
             load_p50_us: 1_800,
             load_p99_us: 12_000,
+            shard_rps: 420.0,
+            shard_p50_us: 2_100,
+            shard_p99_us: 15_000,
+            shard_counters: vec![("serve.shard_subrequests".to_owned(), 66)],
             counters: vec![("serve.requests".to_owned(), 66)],
         };
         assert!((p.speedup() - 31.25).abs() < 1e-9);
@@ -443,6 +584,15 @@ mod tests {
         assert_eq!(load.get("conns"), Some(&Json::Int(LOAD_CONNS as i64)));
         assert_eq!(load.get("workers"), Some(&Json::Int(LOAD_WORKERS as i64)));
         assert_eq!(load.get("p99_us"), Some(&Json::Int(12_000)));
+        let shard = parsed.get("shard").expect("shard sub-block");
+        assert_eq!(shard.get("shards"), Some(&Json::Int(SHARD_COUNT as i64)));
+        assert_eq!(shard.get("p99_us"), Some(&Json::Int(15_000)));
+        assert_eq!(
+            shard
+                .get("counters")
+                .and_then(|c| c.get("serve.shard_subrequests")),
+            Some(&Json::Int(66))
+        );
     }
 
     #[test]

@@ -133,16 +133,11 @@ fn sim_params(rng: &mut StdRng, args: &Args) -> Json {
     ])
 }
 
-fn is_ok(reply: &Json) -> bool {
-    matches!(reply.get("ok"), Some(Json::Bool(true)))
-}
-
-/// Check the JSON telemetry reply carries a rolling `sim` p99 — the
-/// probe that the windowed histograms are live, not just present.
-fn telemetry_has_sim_p99(reply: &Json) -> bool {
-    reply
-        .get("result")
-        .and_then(|r| r.get("methods"))
+/// Check the telemetry result carries a rolling `sim` p99 — the probe
+/// that the windowed histograms are live, not just present.
+fn telemetry_has_sim_p99(result: &Json) -> bool {
+    result
+        .get("methods")
         .and_then(|m| m.get("sim"))
         .and_then(|s| s.get("latency_us"))
         .and_then(|l| l.get("10s"))
@@ -153,8 +148,8 @@ fn telemetry_has_sim_p99(reply: &Json) -> bool {
 /// Validate the Prometheus-style exposition: every non-comment line must
 /// be `name{labels} value` (or `name value`) with a float-parsable value
 /// and balanced label braces.
-fn telemetry_text_parses(reply: &Json) -> bool {
-    let Some(Json::Str(text)) = reply.get("result").and_then(|r| r.get("text")) else {
+fn telemetry_text_parses(result: &Json) -> bool {
+    let Some(Json::Str(text)) = result.get("text") else {
         return false;
     };
     if text.is_empty() {
@@ -209,24 +204,22 @@ fn smoke(args: &Args) -> i32 {
         ),
     ];
     for (id, method, params, check, complaint) in queries {
-        match client.request(id, method, params, None) {
-            Ok(reply) if is_ok(&reply) => {
-                if !check(&reply) {
-                    eprintln!("[loadgen] {}: {complaint}", method.name());
+        match client.call(id, method, params, None) {
+            Ok(reply) => match reply.result() {
+                Some(result) => {
+                    if !check(result) {
+                        eprintln!("[loadgen] {}: {complaint}", method.name());
+                        return 1;
+                    }
+                    eprintln!("[loadgen] {} ok", method.name());
+                }
+                None => {
+                    eprintln!("[loadgen] {} failed: {}", method.name(), reply.raw);
                     return 1;
                 }
-                eprintln!("[loadgen] {} ok", method.name());
-            }
-            Ok(reply) => {
-                eprintln!(
-                    "[loadgen] {} failed: {}",
-                    method.name(),
-                    reply.render_compact()
-                );
-                return 1;
-            }
+            },
             Err(e) => {
-                eprintln!("[loadgen] {} io error: {e}", method.name());
+                eprintln!("[loadgen] {}: {e}", method.name());
                 return 1;
             }
         }
@@ -258,24 +251,37 @@ fn plan_smoke(args: &Args) -> i32 {
         ("measure", Json::from(800u64)),
         ("chunk", Json::from(4u64)),
     ]);
-    let lines = match client.plan_lines(1, params, None) {
-        Ok(l) => l,
+    let stream = match client.plan(1, params, None) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("[loadgen] plan io error: {e}");
             return 1;
         }
     };
-    let partials = lines.len() - 1;
-    let last = lines.last().expect("plan_lines returns at least one line");
-    let final_ok = Json::parse(last).ok().is_some_and(|v| {
-        is_ok(&v)
-            && v.get("result")
-                .and_then(|r| r.get("frontier"))
-                .is_some_and(|f| matches!(f, Json::Arr(a) if !a.is_empty()))
+    let mut partials = 0usize;
+    let mut last = None;
+    for item in stream {
+        match item {
+            Ok(resp) if resp.partial => partials += 1,
+            Ok(resp) => last = Some(resp),
+            Err(e) => {
+                eprintln!("[loadgen] plan: {e}");
+                return 1;
+            }
+        }
+    }
+    let Some(last) = last else {
+        eprintln!("[loadgen] plan failed: no terminating response");
+        return 1;
+    };
+    let final_ok = last.result().is_some_and(|r| {
+        r.get("frontier")
+            .is_some_and(|f| matches!(f, Json::Arr(a) if !a.is_empty()))
     });
     if partials == 0 || !final_ok {
         eprintln!(
-            "[loadgen] plan failed: {partials} partial lines, final `{last}`"
+            "[loadgen] plan failed: {partials} partial lines, final `{}`",
+            last.raw
         );
         return 1;
     }
@@ -328,9 +334,8 @@ fn main() {
                 let mut rng = StdRng::seed_from_u64(0x10AD_0000 + conn as u64);
                 for k in 0..args.requests {
                     let t = Instant::now();
-                    match client.request(k as i64, Method::Sim, sim_params(&mut rng, args), None)
-                    {
-                        Ok(reply) if is_ok(&reply) => {
+                    match client.sim(k as i64, sim_params(&mut rng, args)) {
+                        Ok(reply) if reply.is_ok() => {
                             lat.push(t.elapsed().as_secs_f64() * 1e6);
                         }
                         _ => errs += 1,
@@ -402,14 +407,13 @@ fn main() {
 fn server_sim_percentiles(args: &Args) -> Result<[f64; 3], String> {
     let mut client = Client::connect(&args.addr).map_err(|e| e.to_string())?;
     let reply = client
-        .request(9_000_000, Method::Telemetry, Json::Obj(Vec::new()), None)
+        .telemetry(9_000_000, Json::Obj(Vec::new()))
         .map_err(|e| e.to_string())?;
-    if !is_ok(&reply) {
-        return Err(reply.render_compact());
-    }
-    let window = reply
-        .get("result")
-        .and_then(|r| r.get("methods"))
+    let Some(result) = reply.result() else {
+        return Err(reply.raw.clone());
+    };
+    let window = result
+        .get("methods")
         .and_then(|m| m.get("sim"))
         .and_then(|s| s.get("latency_us"))
         .and_then(|l| l.get("60s"))

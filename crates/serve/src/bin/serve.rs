@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--port-file PATH] [--quick] [--jobs N]
-//!       [--queue-cap N] [--workers N] [--slow-ms N] [--oneshot]
+//!       [--queue-cap N] [--workers N] [--slow-ms N] [--shards N]
+//!       [--oneshot]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0`, an ephemeral port), prints
@@ -33,18 +34,25 @@
 //! * `--slow-ms N` — slow-request log threshold in milliseconds
 //!   (default 500; 0 disables). Requests at or over it land in the
 //!   `telemetry` method's slow log with a queue/handle span tree.
+//! * `--shards N` — with N > 1, run as a shard **router** instead of a
+//!   single daemon: spawn N `serve` child processes (each getting this
+//!   command's `--quick`/`--jobs`/`--workers`/`--queue-cap`/`--slow-ms`)
+//!   and route requests to them by the SimPoint fingerprint (see the
+//!   `m3d_serve::router` rustdoc). The bound address, `--port-file`, and
+//!   the wire protocol are exactly as in single-daemon mode.
 //! * `--oneshot` — no TCP at all: read request lines from stdin, write
 //!   response lines to stdout, exit at EOF. One process per query is the
 //!   honest "cold" baseline the `perf_baseline` serve probe compares the
 //!   warm daemon against.
 
 use m3d_serve::server::{install_signal_handlers, Server, ServerConfig};
-use m3d_serve::Engine;
+use m3d_serve::{Engine, Router, RouterConfig};
 use std::io::{BufRead, Write};
 
 struct Args {
     cfg: ServerConfig,
     port_file: Option<String>,
+    shards: usize,
     oneshot: bool,
 }
 
@@ -52,6 +60,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         cfg: ServerConfig::default(),
         port_file: None,
+        shards: 1,
         oneshot: false,
     };
     let mut it = argv.iter();
@@ -92,6 +101,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             args.cfg.slow_ms = v
                 .parse::<u64>()
                 .map_err(|_| format!("--slow-ms needs an integer, got `{v}`"))?;
+        } else if let Some(v) = flag_value("--shards")? {
+            args.shards = v
+                .parse::<usize>()
+                .map_err(|_| format!("--shards needs an integer, got `{v}`"))?
+                .max(1);
         } else {
             return Err(format!("unknown flag `{a}`"));
         }
@@ -138,7 +152,8 @@ fn main() {
             eprintln!("[serve] {e}");
             eprintln!(
                 "usage: serve [--addr HOST:PORT] [--port-file PATH] [--quick] \
-                 [--jobs N] [--queue-cap N] [--workers N] [--slow-ms N] [--oneshot]"
+                 [--jobs N] [--queue-cap N] [--workers N] [--slow-ms N] \
+                 [--shards N] [--oneshot]"
             );
             std::process::exit(2);
         }
@@ -147,6 +162,44 @@ fn main() {
         std::process::exit(oneshot(args.cfg.quick, args.cfg.jobs, args.cfg.slow_ms));
     }
     install_signal_handlers();
+    if args.shards > 1 {
+        // Router mode: this process fronts `--shards` spawned daemons and
+        // owns the client-facing listener; everything else is identical
+        // from a client's point of view.
+        let router = match Router::bind(RouterConfig {
+            addr: args.cfg.addr,
+            shards: args.shards,
+            quick: args.cfg.quick,
+            jobs: args.cfg.jobs,
+            workers: args.cfg.workers,
+            queue_cap: args.cfg.queue_cap,
+            slow_ms: args.cfg.slow_ms,
+            ..RouterConfig::default()
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[serve] router bind failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let addr = match router.local_addr() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("[serve] no local address: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(path) = &args.port_file {
+            if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+                eprintln!("[serve] cannot write port file {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        eprintln!("[serve] router listening on {addr} ({} shards)", args.shards);
+        router.run();
+        eprintln!("[serve] drained, bye");
+        return;
+    }
     let server = match Server::bind(args.cfg) {
         Ok(s) => s,
         Err(e) => {

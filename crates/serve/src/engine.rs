@@ -27,7 +27,7 @@ use std::time::Instant;
 /// Every counter the server maintains. [`Engine::stats`] reports each of
 /// them unconditionally (zeros included), so monitoring clients can tell
 /// "never happened" apart from "not a counter".
-pub const SERVE_COUNTERS: [&str; 14] = [
+pub const SERVE_COUNTERS: [&str; 18] = [
     "serve.requests",
     "serve.requests.sim",
     "serve.requests.experiment",
@@ -42,6 +42,12 @@ pub const SERVE_COUNTERS: [&str; 14] = [
     "serve.plan_chunks",
     "serve.plan_aborted",
     "serve.write_errors",
+    // Shard-router counters (always zero in a plain single daemon; the
+    // router process maintains them — see `crate::router`).
+    "serve.shard_deaths",
+    "serve.shard_failed",
+    "serve.shard_rerouted",
+    "serve.shard_subrequests",
 ];
 
 /// Sentinel for "no injected panic" — [`inject_sim_panic_seed`] cannot
@@ -332,16 +338,11 @@ impl Engine {
     /// indistinguishable from a misspelled one), so the serve set is
     /// re-inserted with explicit zeros.
     pub fn stats(&self) -> Json {
-        let mut snap = m3d_obs::snapshot();
-        for name in SERVE_COUNTERS {
-            if let Err(i) = snap.counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
-                snap.counters.insert(i, ((*name).to_owned(), 0));
-            }
-        }
         Json::obj([
             ("uptime_s", Json::from(self.start.elapsed().as_secs_f64())),
             ("memo_cache_len", Json::from(result_cache_len())),
-            ("metrics", metrics_json(&snap)),
+            ("topology", crate::router::single_topology_json()),
+            ("metrics", metrics_json(&serve_counters_snapshot())),
         ])
     }
 
@@ -352,27 +353,11 @@ impl Engine {
     /// `{"text": "..."}`; the default (or `"format":"json"`) is the
     /// structured report.
     pub fn telemetry(&self, params: &Json) -> Result<Json, WireError> {
-        let recent = get_u64(params, "recent")?
-            .unwrap_or(RECENT_DEFAULT)
-            .min(RECENT_MAX) as usize;
-        match params.get("format") {
-            None | Some(Json::Null) => {}
-            Some(Json::Str(s)) if s == "json" => {}
-            Some(Json::Str(s)) if s == "text" => {
-                return Ok(Json::obj([(
-                    "text",
-                    Json::from(self.telemetry.to_text()),
-                )]));
-            }
-            Some(_) => {
-                return Err(WireError::bad_request(
-                    "`format` must be \"json\" or \"text\"",
-                ));
-            }
-        }
-        Ok(self
-            .telemetry
-            .to_json(self.start.elapsed().as_secs_f64(), recent))
+        telemetry_response(
+            &self.telemetry,
+            self.start.elapsed().as_secs_f64(),
+            params,
+        )
     }
 
     /// Answer one already-parsed request (the serial path: no queue, no
@@ -470,6 +455,47 @@ impl Engine {
             .pop()
             .expect("every request produces a terminating line")
     }
+}
+
+/// A live metrics snapshot with every [`SERVE_COUNTERS`] entry present
+/// (zeros re-inserted — the snapshot omits zero counters by design, but a
+/// monitoring client must be able to tell "never happened" from "not a
+/// counter"). Shared by [`Engine::stats`] and the router's `stats`.
+pub(crate) fn serve_counters_snapshot() -> m3d_obs::MetricsSnapshot {
+    let mut snap = m3d_obs::snapshot();
+    for name in SERVE_COUNTERS {
+        if let Err(i) = snap.counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            snap.counters.insert(i, ((*name).to_owned(), 0));
+        }
+    }
+    snap
+}
+
+/// Answer a `telemetry` request against any [`ServeTelemetry`] store —
+/// the engine's (daemon/oneshot) or the router's own. One implementation
+/// keeps the router's `telemetry` byte-compatible in shape with the
+/// daemon's.
+pub(crate) fn telemetry_response(
+    telemetry: &ServeTelemetry,
+    uptime_s: f64,
+    params: &Json,
+) -> Result<Json, WireError> {
+    let recent = get_u64(params, "recent")?
+        .unwrap_or(RECENT_DEFAULT)
+        .min(RECENT_MAX) as usize;
+    match params.get("format") {
+        None | Some(Json::Null) => {}
+        Some(Json::Str(s)) if s == "json" => {}
+        Some(Json::Str(s)) if s == "text" => {
+            return Ok(Json::obj([("text", Json::from(telemetry.to_text()))]));
+        }
+        Some(_) => {
+            return Err(WireError::bad_request(
+                "`format` must be \"json\" or \"text\"",
+            ));
+        }
+    }
+    Ok(telemetry.to_json(uptime_s, recent))
 }
 
 /// Map a search failure onto the wire error taxonomy: spec problems are

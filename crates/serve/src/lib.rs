@@ -55,7 +55,18 @@
 //!   `serve.rejected`, `serve.deadline_expired`, `serve.errors`,
 //!   `serve.write_errors`, `serve.plan_chunks`, `serve.plan_aborted`
 //!   counters and a `serve.latency_us` histogram — cumulative totals via
-//!   `stats`, rolling windows via `telemetry`.
+//!   `stats`, rolling windows via `telemetry`. A router additionally
+//!   counts `serve.shard_subrequests`, `serve.shard_deaths`,
+//!   `serve.shard_rerouted`, and `serve.shard_failed`.
+//! * **Sharding** — `serve --shards N` (or the standalone `router`
+//!   binary) fronts N shard daemons with one listener: `sim` points are
+//!   fanned to the shard owning each point's fingerprint slice,
+//!   `plan`/`experiment`/`planner` are forwarded whole by content
+//!   affinity ([`router::route_hash`]), and every response is
+//!   byte-identical to a single daemon's. A dead shard answers its
+//!   in-flight requests with `shard_down` and its key slice re-routes to
+//!   the surviving shards. See the [`router`] module for routing,
+//!   ordering and failure semantics.
 //!
 //! The determinism contract of the batch engine carries over the wire: a
 //! `sim` response is a pure function of its own point list (never of what
@@ -121,8 +132,15 @@
 //!
 //! ```text
 //! $ echo '{"id":5,"method":"stats"}' | serve --oneshot --quick
-//! {"id":5,"ok":true,"result":{"counters":{...},"memo_entries":...}}
+//! {"id":5,"ok":true,"result":{"uptime_s":...,"metrics":{"counters":{...},...},
+//!   "memo_cache_len":...,"topology":{"shards":1,"slices":[{"shard":0,
+//!   "live":true,"key_lo":"0x0000000000000000","key_hi":"0xffffffffffffffff"}]}}}
 //! ```
+//!
+//! The `topology` block maps the point-fingerprint key space onto shards:
+//! a plain daemon reports itself as one full-range slice; a router reports
+//! one slice per shard with its address and liveness, so operators can see
+//! a dead shard (and its re-routed slice) directly in `stats`.
 //!
 //! ## `telemetry` — rolling-window latency telemetry
 //!
@@ -156,7 +174,7 @@
 //! ## Error kinds
 //!
 //! Every failure is `{"id":...,"ok":false,"error":{"kind":...,"message":...}}`
-//! with one of eleven kinds ([`protocol::ErrorKind`]):
+//! with one of twelve kinds ([`protocol::ErrorKind`]):
 //!
 //! | kind             | meaning                                              |
 //! |------------------|------------------------------------------------------|
@@ -175,6 +193,8 @@
 //! | `shutdown`       | draining after SIGTERM — no new work admitted        |
 //! | `aborted`        | the client hung up mid-`plan`; only ever "sent" to a |
 //! |                  | dead connection, so a live client never sees it      |
+//! | `shard_down`     | a router's shard died with this request in flight    |
+//! |                  | (retry: the slice has re-routed to a live shard)     |
 //!
 //! ## Deadline and overload semantics
 //!
@@ -195,9 +215,12 @@
 pub mod client;
 pub mod engine;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod telemetry;
 
+pub use client::{Client, ClientError, PlanStream};
 pub use engine::Engine;
+pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use telemetry::ServeTelemetry;

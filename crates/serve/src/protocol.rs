@@ -54,7 +54,10 @@
 //! # Error kinds
 //!
 //! `parse`, `bad_request`, `unknown_method`, `oversized`, `overloaded`,
-//! `deadline`, `invalid`, `cap_exhausted`, `panic`, `shutdown`.
+//! `deadline`, `invalid`, `cap_exhausted`, `panic`, `shutdown`,
+//! `aborted`, `shard_down`. The set is closed ([`ErrorKind::ALL`]) and
+//! round-trips through [`ErrorKind::wire_name`] /
+//! [`ErrorKind::from_wire`].
 
 use m3d_core::experiments::registry::ExperimentError;
 use m3d_core::report::Json;
@@ -152,9 +155,31 @@ pub enum ErrorKind {
     /// line carrying this kind is only ever "sent" to the dead
     /// connection — a live client can never observe it.
     Aborted,
+    /// A shard daemon behind the router died while this request (or one
+    /// of its fanned-out sub-requests) was in flight, or every shard is
+    /// down. The dead shard's key slice is re-routed, so a retry reaches
+    /// a live shard.
+    ShardDown,
 }
 
 impl ErrorKind {
+    /// Every error kind, in a fixed order — the closed set the wire
+    /// names are drawn from.
+    pub const ALL: [ErrorKind; 12] = [
+        ErrorKind::Parse,
+        ErrorKind::BadRequest,
+        ErrorKind::UnknownMethod,
+        ErrorKind::Oversized,
+        ErrorKind::Overloaded,
+        ErrorKind::Deadline,
+        ErrorKind::Invalid,
+        ErrorKind::CapExhausted,
+        ErrorKind::Panic,
+        ErrorKind::Shutdown,
+        ErrorKind::Aborted,
+        ErrorKind::ShardDown,
+    ];
+
     /// The wire spelling.
     pub fn wire_name(self) -> &'static str {
         match self {
@@ -169,7 +194,15 @@ impl ErrorKind {
             ErrorKind::Panic => "panic",
             ErrorKind::Shutdown => "shutdown",
             ErrorKind::Aborted => "aborted",
+            ErrorKind::ShardDown => "shard_down",
         }
+    }
+
+    /// Wire spelling → kind; `None` for anything outside the closed set.
+    /// Iterates [`ErrorKind::ALL`], so the round-trip holds by
+    /// construction for every variant.
+    pub fn from_wire(name: &str) -> Option<ErrorKind> {
+        ErrorKind::ALL.into_iter().find(|k| k.wire_name() == name)
     }
 }
 
@@ -322,6 +355,91 @@ pub fn err_line(id: Option<i64>, e: &WireError) -> String {
     .render_compact()
 }
 
+/// A parsed response line — the receiving-side dual of [`ok_line`],
+/// [`partial_line`] and [`err_line`]. This is the **one** place response
+/// lines are decoded: the typed [`Client`](crate::client::Client), the
+/// shard router's upstream connections, and the wire tests all go
+/// through it. `raw` keeps the exact wire bytes, so byte-fidelity
+/// consumers (the router, the shard-equivalence tests) never re-render
+/// what a server said.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The exact line as received (no trailing newline).
+    pub raw: String,
+    /// Echoed request id; `None` when the request line was too broken to
+    /// carry one (`"id": null`).
+    pub id: Option<i64>,
+    /// `true` on a streamed `plan` partial; a response without the flag
+    /// terminates its request's stream.
+    pub partial: bool,
+    /// The payload: the `result` value on success, the structured error
+    /// otherwise.
+    pub result: Result<Json, WireError>,
+}
+
+impl Response {
+    /// Parse one response line. Fails (with a description, not a wire
+    /// error — an unparsable *response* means the peer is not speaking
+    /// the protocol) on non-JSON, a malformed envelope, or an error kind
+    /// outside the closed [`ErrorKind::ALL`] set.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let v = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err("response must be a JSON object".to_owned());
+        }
+        let id = match v.get("id") {
+            Some(Json::Int(i)) => Some(*i),
+            Some(Json::Null) => None,
+            _ => return Err("`id` must be an integer or null".to_owned()),
+        };
+        let partial = matches!(v.get("partial"), Some(Json::Bool(true)));
+        let result = match v.get("ok") {
+            Some(Json::Bool(true)) => match v.get("result") {
+                Some(r) => Ok(r.clone()),
+                None => return Err("`result` missing on an ok response".to_owned()),
+            },
+            Some(Json::Bool(false)) => {
+                let e = match v.get("error") {
+                    Some(e) => e,
+                    None => return Err("`error` missing on a failed response".to_owned()),
+                };
+                let kind = match e.get("kind") {
+                    Some(Json::Str(s)) => ErrorKind::from_wire(s)
+                        .ok_or_else(|| format!("unknown error kind `{s}`"))?,
+                    _ => return Err("`error.kind` must be a string".to_owned()),
+                };
+                let message = match e.get("message") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => return Err("`error.message` must be a string".to_owned()),
+                };
+                Err(WireError { kind, message })
+            }
+            _ => return Err("`ok` must be a boolean".to_owned()),
+        };
+        Ok(Response {
+            raw: line.to_owned(),
+            id,
+            partial,
+            result,
+        })
+    }
+
+    /// Whether the response carries a result (not an error).
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// The result value, if this is a success response.
+    pub fn result(&self) -> Option<&Json> {
+        self.result.as_ref().ok()
+    }
+
+    /// The structured error, if this is a failure response.
+    pub fn error(&self) -> Option<&WireError> {
+        self.result.as_ref().err()
+    }
+}
+
 /// Build a request line (no trailing newline) — the client-side dual of
 /// [`parse_request`], shared by `loadgen` and the tests.
 pub fn request_line(id: i64, method: Method, params: Json, deadline_ms: Option<u64>) -> String {
@@ -361,6 +479,76 @@ mod tests {
         let (id, e) =
             parse_request(r#"{"id":4,"method":"sim","deadline_ms":-1}"#).expect_err("deadline");
         assert_eq!((id, e.kind), (Some(4), ErrorKind::BadRequest));
+    }
+
+    #[test]
+    fn method_names_round_trip_and_are_unique() {
+        for m in Method::ALL {
+            assert_eq!(
+                Method::from_name(m.name()),
+                Some(m),
+                "method `{}` must round-trip through its wire name",
+                m.name()
+            );
+        }
+        for (i, a) in Method::ALL.iter().enumerate() {
+            for b in &Method::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name(), "wire names must not collide");
+            }
+        }
+        assert_eq!(Method::from_name("frobnicate"), None);
+    }
+
+    #[test]
+    fn error_kinds_round_trip_and_are_unique() {
+        for k in ErrorKind::ALL {
+            assert_eq!(
+                ErrorKind::from_wire(k.wire_name()),
+                Some(k),
+                "kind `{}` must round-trip through its wire name",
+                k.wire_name()
+            );
+        }
+        for (i, a) in ErrorKind::ALL.iter().enumerate() {
+            for b in &ErrorKind::ALL[i + 1..] {
+                assert_ne!(
+                    a.wire_name(),
+                    b.wire_name(),
+                    "wire names must not collide"
+                );
+            }
+        }
+        assert_eq!(ErrorKind::from_wire("no_such_kind"), None);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let ok = ok_line(3, Json::obj([("x", Json::from(1i64))]));
+        let r = Response::parse(&ok).expect("parses");
+        assert_eq!(r.raw, ok);
+        assert_eq!((r.id, r.partial, r.is_ok()), (Some(3), false, true));
+        assert_eq!(r.result().and_then(|v| v.get("x")), Some(&Json::from(1i64)));
+
+        let part = partial_line(4, Json::from(7i64));
+        let r = Response::parse(&part).expect("parses");
+        assert_eq!((r.id, r.partial), (Some(4), true));
+
+        let e = WireError::new(ErrorKind::ShardDown, "shard 1 died");
+        let r = Response::parse(&err_line(Some(5), &e)).expect("parses");
+        assert_eq!(r.id, Some(5));
+        assert_eq!(r.error(), Some(&e));
+        let r = Response::parse(&err_line(None, &e)).expect("parses");
+        assert_eq!(r.id, None);
+
+        assert!(Response::parse("not json").is_err());
+        assert!(Response::parse(r#"{"id":1}"#).is_err(), "no `ok` flag");
+        assert!(
+            Response::parse(
+                r#"{"id":1,"ok":false,"error":{"kind":"martian","message":"?"}}"#
+            )
+            .is_err(),
+            "error kinds are a closed set"
+        );
     }
 
     #[test]

@@ -77,9 +77,16 @@ extern "C" {
     fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
 }
 
+/// Whether a termination signal has arrived (see
+/// [`install_signal_handlers`]). The router's event loop polls this the
+/// same way the server's does.
+pub(crate) fn signalled() -> bool {
+    SIGNALLED.load(Ordering::Relaxed)
+}
+
 /// Route SIGTERM and SIGINT (ctrl-c) into a graceful drain instead of the
-/// default immediate kill. Called once by the `serve` binary; safe to call
-/// more than once.
+/// default immediate kill. Called once by the `serve` and `router`
+/// binaries; safe to call more than once.
 pub fn install_signal_handlers() {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
@@ -92,7 +99,7 @@ pub fn install_signal_handlers() {
 /// Raw `epoll(7)` + `eventfd(2)` bindings. The daemon stays
 /// dependency-free, so these mirror the `signal(2)` binding above instead
 /// of pulling in a crate; only the thin safe wrappers below touch them.
-mod sys {
+pub(crate) mod sys {
     use std::io;
     use std::os::fd::RawFd;
 
@@ -242,7 +249,7 @@ const COALESCE_MAX: usize = 16;
 
 /// How long shutdown (and a half-closed connection) may wait for admitted
 /// work to finish and flush before giving up on the socket.
-const FLUSH_WINDOW: Duration = Duration::from_secs(60);
+pub(crate) const FLUSH_WINDOW: Duration = Duration::from_secs(60);
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -1111,7 +1118,7 @@ fn worker_loop(state: &ServerState) {
     }
 }
 
-fn oversized_line() -> String {
+pub(crate) fn oversized_line() -> String {
     err_line(
         None,
         &WireError::new(

@@ -48,11 +48,10 @@ fn stats_reports_every_serve_counter_including_zeros() {
     let (addr, handle) = start();
     let mut c = Client::connect(&addr).expect("connect");
 
-    let j = c
-        .request(1, Method::Stats, Json::Obj(Vec::new()), None)
-        .expect("stats reply");
-    assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{j:?}");
-    let result = j.get("result").expect("result");
+    let resp = c.stats(1).expect("stats reply");
+    let result = resp
+        .result()
+        .unwrap_or_else(|| panic!("stats failed: {}", resp.raw));
     assert!(
         matches!(result.get("uptime_s"), Some(Json::Num(s)) if *s >= 0.0),
         "{result:?}"
@@ -91,10 +90,9 @@ fn daemon_burst_records_exactly_one_latency_sample_per_request() {
     let (addr, handle) = start();
     let mut c = Client::connect(&addr).expect("connect");
 
-    let count_of = |j: &Json| -> i64 {
-        match j
-            .get("result")
-            .and_then(|r| r.get("metrics"))
+    let count_of = |result: &Json| -> i64 {
+        match result
+            .get("metrics")
             .and_then(|m| m.get("histograms"))
             .and_then(|h| h.get("serve.latency_us"))
             .and_then(|h| h.get("count"))
@@ -106,19 +104,16 @@ fn daemon_burst_records_exactly_one_latency_sample_per_request() {
         }
     };
 
-    let j = c
-        .request(10, Method::Stats, Json::Obj(Vec::new()), None)
-        .expect("baseline stats");
-    let before = count_of(&j);
+    let resp = c.stats(10).expect("baseline stats");
+    let before = count_of(resp.result().expect("stats result"));
 
     for k in 0..N {
         c.send(20 + k, Method::Sim, sim_points_params(0xAC17_0000 + k as u64), None)
             .expect("send");
     }
     for _ in 0..N {
-        let line = c.read_line().expect("burst reply");
-        let j = Json::parse(&line).expect("parses");
-        assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{line}");
+        let resp = c.recv().expect("burst reply");
+        assert!(resp.is_ok(), "{}", resp.raw);
     }
 
     // Poll k (1-based) can observe at most: the baseline poll's own sample
@@ -127,10 +122,8 @@ fn daemon_burst_records_exactly_one_latency_sample_per_request() {
     // twice.
     let mut settled = false;
     for poll in 1..=200i64 {
-        let j = c
-            .request(100 + poll, Method::Stats, Json::Obj(Vec::new()), None)
-            .expect("poll stats");
-        let now = count_of(&j);
+        let resp = c.stats(100 + poll).expect("poll stats");
+        let now = count_of(resp.result().expect("stats result"));
         let ceiling = before + 1 + N + (poll - 1);
         assert!(
             now <= ceiling,

@@ -2,10 +2,14 @@
 //! port: malformed input, unknown methods, oversized lines, deadline
 //! expiry, queue-full backpressure, and the concurrent-equals-serial
 //! byte-determinism guarantee.
+//!
+//! All response decoding goes through the typed [`Client`] /
+//! [`Response`] pair; byte-fidelity assertions compare `Response::raw`
+//! (or `call_raw`/`recv_raw`) against the serial engine's output.
 
 use m3d_core::report::Json;
 use m3d_serve::client::Client;
-use m3d_serve::protocol::{request_line, Method, MAX_LINE_BYTES};
+use m3d_serve::protocol::{request_line, Method, Response, MAX_LINE_BYTES};
 use m3d_serve::{Engine, Server, ServerConfig, ServerHandle};
 
 fn start(queue_cap: usize) -> (String, ServerHandle) {
@@ -19,14 +23,8 @@ fn start(queue_cap: usize) -> (String, ServerHandle) {
     (addr, server.spawn())
 }
 
-fn error_kind(reply: &Json) -> Option<String> {
-    match (reply.get("ok"), reply.get("error")) {
-        (Some(Json::Bool(false)), Some(err)) => match err.get("kind") {
-            Some(Json::Str(k)) => Some(k.clone()),
-            _ => None,
-        },
-        _ => None,
-    }
+fn kind_of(resp: &Response) -> Option<&'static str> {
+    resp.error().map(|e| e.kind.wire_name())
 }
 
 fn sim_params(app: &str, seed: u64, warmup: u64, measure: u64) -> Json {
@@ -45,22 +43,22 @@ fn malformed_and_unknown_requests_answer_structured_errors() {
     let mut c = Client::connect(&addr).expect("connect");
 
     let reply = c.call_raw("this is not json").expect("reply");
-    let j = Json::parse(&reply).expect("error reply parses");
-    assert_eq!(error_kind(&j).as_deref(), Some("parse"));
-    assert_eq!(j.get("id"), Some(&Json::Null));
+    let resp = Response::parse(&reply).expect("error reply parses");
+    assert_eq!(kind_of(&resp), Some("parse"));
+    assert_eq!(resp.id, None, "{reply}");
 
-    let j = c
-        .request(41, Method::Sim, Json::obj([("app", Json::from(7i64))]), None)
+    let resp = c
+        .call(41, Method::Sim, Json::obj([("app", Json::from(7i64))]), None)
         .expect("reply");
-    assert_eq!(error_kind(&j).as_deref(), Some("bad_request"));
-    assert_eq!(j.get("id"), Some(&Json::Int(41)));
+    assert_eq!(kind_of(&resp), Some("bad_request"));
+    assert_eq!(resp.id, Some(41));
 
     let reply = c
         .call_raw(r#"{"id":42,"method":"frobnicate"}"#)
         .expect("reply");
-    let j = Json::parse(&reply).expect("parses");
-    assert_eq!(error_kind(&j).as_deref(), Some("unknown_method"));
-    assert_eq!(j.get("id"), Some(&Json::Int(42)));
+    let resp = Response::parse(&reply).expect("parses");
+    assert_eq!(kind_of(&resp), Some("unknown_method"));
+    assert_eq!(resp.id, Some(42));
 
     handle.shutdown();
 }
@@ -75,15 +73,13 @@ fn oversized_lines_are_rejected_and_the_connection_recovers() {
         "x".repeat(MAX_LINE_BYTES)
     );
     let reply = c.call_raw(&huge).expect("reply");
-    let j = Json::parse(&reply).expect("parses");
-    assert_eq!(error_kind(&j).as_deref(), Some("oversized"));
+    let resp = Response::parse(&reply).expect("parses");
+    assert_eq!(kind_of(&resp), Some("oversized"));
 
     // The reader resynchronizes on the next newline: the connection keeps
     // working.
-    let j = c
-        .request(2, Method::Stats, Json::Obj(Vec::new()), None)
-        .expect("follow-up works");
-    assert_eq!(j.get("ok"), Some(&Json::Bool(true)));
+    let resp = c.stats(2).expect("follow-up works");
+    assert!(resp.is_ok(), "{}", resp.raw);
 
     handle.shutdown();
 }
@@ -95,21 +91,19 @@ fn deadline_expiry_cancels_cleanly() {
 
     // A unique seed keeps this point out of the process-wide memo cache
     // (cache hits are served even past a deadline, by design).
-    let j = c
-        .request(
+    let resp = c
+        .call(
             7,
             Method::Sim,
             Json::obj([("points", Json::arr([sim_params("Gcc", 0xDEAD_0001, 2_000, 1_500)]))]),
             Some(0),
         )
         .expect("reply");
-    assert_eq!(error_kind(&j).as_deref(), Some("deadline"));
+    assert_eq!(kind_of(&resp), Some("deadline"));
 
     // The connection (and server) survive a cancelled request.
-    let j = c
-        .request(8, Method::Stats, Json::Obj(Vec::new()), None)
-        .expect("follow-up works");
-    assert_eq!(j.get("ok"), Some(&Json::Bool(true)));
+    let resp = c.stats(8).expect("follow-up works");
+    assert!(resp.is_ok(), "{}", resp.raw);
 
     handle.shutdown();
 }
@@ -119,21 +113,17 @@ fn full_queue_rejects_with_overloaded() {
     // cap 0: nothing is ever admitted — deterministic backpressure.
     let (addr, handle) = start(0);
     let mut c = Client::connect(&addr).expect("connect");
-    let j = c
-        .request(
+    let resp = c
+        .sim(
             9,
-            Method::Sim,
             Json::obj([("points", Json::arr([sim_params("Gcc", 0xDEAD_0002, 2_000, 1_500)]))]),
-            None,
         )
         .expect("reply");
-    assert_eq!(error_kind(&j).as_deref(), Some("overloaded"));
+    assert_eq!(kind_of(&resp), Some("overloaded"));
 
     // Inline methods bypass the queue and still answer.
-    let j = c
-        .request(10, Method::Stats, Json::Obj(Vec::new()), None)
-        .expect("reply");
-    assert_eq!(j.get("ok"), Some(&Json::Bool(true)));
+    let resp = c.stats(10).expect("reply");
+    assert!(resp.is_ok(), "{}", resp.raw);
 
     handle.shutdown();
 }
@@ -202,6 +192,14 @@ fn small_plan_params() -> Json {
     ])
 }
 
+/// Drain a [`Client::plan`] stream to raw lines for byte comparisons.
+fn plan_raw_lines(c: &mut Client, id: i64, params: Json) -> Vec<String> {
+    c.plan(id, params, None)
+        .expect("plan stream")
+        .map(|r| r.expect("typed plan line").raw)
+        .collect()
+}
+
 #[test]
 fn streamed_plan_matches_oneshot_byte_for_byte() {
     let line = request_line(55, Method::Plan, small_plan_params(), None);
@@ -220,9 +218,7 @@ fn streamed_plan_matches_oneshot_byte_for_byte() {
 
     let (addr, handle) = start(8);
     let mut c = Client::connect(&addr).expect("connect");
-    let streamed = c
-        .plan_lines(55, small_plan_params(), None)
-        .expect("plan stream");
+    let streamed = plan_raw_lines(&mut c, 55, small_plan_params());
     assert_eq!(streamed, expected, "TCP stream diverged from oneshot");
     handle.shutdown();
 }
@@ -271,7 +267,7 @@ fn thousand_candidate_plan_streams_partials_and_is_jobs_invariant() {
     let addr = server.local_addr().expect("local addr").to_string();
     let handle = server.spawn();
     let mut c = Client::connect(&addr).expect("connect");
-    let streamed = c.plan_lines(91, params, None).expect("plan stream");
+    let streamed = plan_raw_lines(&mut c, 91, params);
     assert_eq!(streamed, expected, "jobs=4 stream diverged from jobs=1");
     handle.shutdown();
 }
@@ -281,18 +277,18 @@ fn bad_plan_specs_answer_bad_request() {
     let (addr, handle) = start(8);
     let mut c = Client::connect(&addr).expect("connect");
     // Missing `vdds` (required axis).
-    let j = c
-        .request(
+    let resp = c
+        .call(
             61,
             Method::Plan,
             Json::obj([("apps", Json::arr([Json::from("Gcc")]))]),
             None,
         )
         .expect("reply");
-    assert_eq!(error_kind(&j).as_deref(), Some("bad_request"));
+    assert_eq!(kind_of(&resp), Some("bad_request"));
     // Unknown field.
-    let j = c
-        .request(
+    let resp = c
+        .call(
             62,
             Method::Plan,
             Json::obj([
@@ -303,7 +299,7 @@ fn bad_plan_specs_answer_bad_request() {
             None,
         )
         .expect("reply");
-    assert_eq!(error_kind(&j).as_deref(), Some("bad_request"));
+    assert_eq!(kind_of(&resp), Some("bad_request"));
     handle.shutdown();
 }
 
@@ -314,18 +310,16 @@ fn telemetry_reports_rolling_quantiles_and_flight_records_from_a_live_daemon() {
 
     // Three sims land in the windowed per-method histograms.
     for k in 0..3i64 {
-        let j = c
-            .request(
+        let resp = c
+            .sim(
                 200 + k,
-                Method::Sim,
                 Json::obj([(
                     "points",
                     Json::arr([sim_params("Gcc", 0x7E1E_0000 + k as u64, 1_000, 800)]),
                 )]),
-                None,
             )
             .expect("reply");
-        assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{j:?}");
+        assert!(resp.is_ok(), "{}", resp.raw);
     }
 
     // A reply hits the wire just before its observation is recorded, so
@@ -333,16 +327,13 @@ fn telemetry_reports_rolling_quantiles_and_flight_records_from_a_live_daemon() {
     // until the engine-local 60 s window holds all three sims.
     let mut result = Json::Null;
     for attempt in 0..200 {
-        let j = c
-            .request(
-                210 + attempt,
-                Method::Telemetry,
-                Json::obj([("recent", Json::from(8u64))]),
-                None,
-            )
+        let resp = c
+            .telemetry(210 + attempt, Json::obj([("recent", Json::from(8u64))]))
             .expect("telemetry reply");
-        assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{j:?}");
-        result = j.get("result").expect("result").clone();
+        result = resp
+            .result()
+            .unwrap_or_else(|| panic!("telemetry failed: {}", resp.raw))
+            .clone();
         let count = result
             .get("methods")
             .and_then(|m| m.get("sim"))
@@ -396,41 +387,29 @@ fn telemetry_reports_rolling_quantiles_and_flight_records_from_a_live_daemon() {
     assert!(recent.len() >= 3, "{recent:?}");
 
     // The Prometheus-style text variant parses and names the key series.
-    let j = c
-        .request(
-            501,
-            Method::Telemetry,
-            Json::obj([("format", Json::from("text"))]),
-            None,
-        )
+    let resp = c
+        .telemetry(501, Json::obj([("format", Json::from("text"))]))
         .expect("text reply");
-    assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{j:?}");
-    let text = match j.get("result").and_then(|r| r.get("text")) {
+    let text = match resp.result().and_then(|r| r.get("text")) {
         Some(Json::Str(t)) => t.clone(),
-        other => panic!("result.text not a string: {other:?}"),
+        other => panic!("result.text not a string: {other:?} ({})", resp.raw),
     };
     assert!(text.contains("m3d_serve_requests_total{method=\"sim\"}"), "{text}");
     assert!(text.contains("m3d_serve_latency_us{method=\"sim\""), "{text}");
 
     // An unknown format is a structured bad_request, not a hang.
-    let j = c
-        .request(
-            502,
-            Method::Telemetry,
-            Json::obj([("format", Json::from("xml"))]),
-            None,
-        )
+    let resp = c
+        .telemetry(502, Json::obj([("format", Json::from("xml"))]))
         .expect("bad format reply");
-    assert_eq!(error_kind(&j).as_deref(), Some("bad_request"));
+    assert_eq!(kind_of(&resp), Some("bad_request"));
 
     handle.shutdown();
 }
 
-/// Read one serve counter out of a `stats` reply.
-fn stats_counter(j: &Json, name: &str) -> i64 {
-    match j
-        .get("result")
-        .and_then(|r| r.get("metrics"))
+/// Read one serve counter out of a `stats` result payload.
+fn stats_counter(result: &Json, name: &str) -> i64 {
+    match result
+        .get("metrics")
         .and_then(|m| m.get("counters"))
         .and_then(|c| c.get(name))
     {
@@ -452,30 +431,26 @@ fn panicking_request_is_answered_and_leaves_the_pool_alive() {
     // Two poisoned requests: with the old bug each one killed a worker,
     // which with the default pool of two left nobody to answer anything.
     for k in 0..2i64 {
-        let j = c
-            .request(
+        let resp = c
+            .sim(
                 300 + k,
-                Method::Sim,
                 Json::obj([("points", Json::arr([sim_params("Gcc", POISON, 1_000, 800)]))]),
-                None,
             )
             .expect("poisoned request still gets a reply");
-        assert_eq!(error_kind(&j).as_deref(), Some("panic"), "{j:?}");
+        assert_eq!(kind_of(&resp), Some("panic"), "{}", resp.raw);
     }
     // The pool must still answer queued work after both panics.
     for k in 0..3i64 {
-        let j = c
-            .request(
+        let resp = c
+            .sim(
                 310 + k,
-                Method::Sim,
                 Json::obj([(
                     "points",
                     Json::arr([sim_params("Gcc", 0xBAD5_EE00 + k as u64, 1_000, 800)]),
                 )]),
-                None,
             )
             .expect("pool survives the panics");
-        assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{j:?}");
+        assert!(resp.is_ok(), "{}", resp.raw);
     }
     m3d_serve::engine::inject_sim_panic_seed(None);
     handle.shutdown();
@@ -490,10 +465,8 @@ fn hung_up_plan_client_aborts_the_search() {
     let (addr, handle) = start(64);
     let before = {
         let mut c = Client::connect(&addr).expect("connect");
-        let j = c
-            .request(400, Method::Stats, Json::Obj(Vec::new()), None)
-            .expect("stats");
-        stats_counter(&j, "serve.plan_aborted")
+        let resp = c.stats(400).expect("stats");
+        stats_counter(resp.result().expect("stats result"), "serve.plan_aborted")
     };
 
     // A wide spec at an interval no other test uses (so nothing is memo
@@ -515,9 +488,9 @@ fn hung_up_plan_client_aborts_the_search() {
     ]);
     {
         let mut c = Client::connect(&addr).expect("connect");
-        c.send(401, Method::Plan, params, None).expect("send plan");
-        let first = c.read_line().expect("first partial");
-        assert!(first.contains(r#""partial":true"#), "{first}");
+        let mut stream = c.plan(401, params, None).expect("send plan");
+        let first = stream.next().expect("first partial").expect("typed partial");
+        assert!(first.partial, "{}", first.raw);
         // Dropping the client closes the socket with partials unread: the
         // kernel resets the connection and the server's next flush fails.
     }
@@ -527,10 +500,8 @@ fn hung_up_plan_client_aborts_the_search() {
     let mut c = Client::connect(&addr).expect("connect");
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
     loop {
-        let j = c
-            .request(402, Method::Stats, Json::Obj(Vec::new()), None)
-            .expect("stats");
-        if stats_counter(&j, "serve.plan_aborted") > before {
+        let resp = c.stats(402).expect("stats");
+        if stats_counter(resp.result().expect("stats result"), "serve.plan_aborted") > before {
             break;
         }
         assert!(
@@ -566,21 +537,19 @@ fn requests_buffered_at_shutdown_are_answered_not_dropped() {
     handle.shutdown();
     let mut ids = Vec::new();
     for _ in 0..4 {
-        let line = c.read_line().expect("buffered request answered");
-        let j = Json::parse(&line).expect("parses");
-        let ok = j.get("ok") == Some(&Json::Bool(true));
-        let kind = error_kind(&j);
+        let resp = c.recv().expect("buffered request answered");
         assert!(
-            ok || kind.as_deref() == Some("shutdown"),
-            "buffered request must answer ok or shutdown: {line}"
+            resp.is_ok() || kind_of(&resp) == Some("shutdown"),
+            "buffered request must answer ok or shutdown: {}",
+            resp.raw
         );
-        if let Some(Json::Int(id)) = j.get("id") {
-            ids.push(*id);
+        if let Some(id) = resp.id {
+            ids.push(id);
         }
     }
     ids.sort_unstable();
     assert_eq!(ids, (500..504).collect::<Vec<i64>>());
-    assert!(c.read_line().is_err(), "then the connection closes");
+    assert!(c.recv_raw().is_err(), "then the connection closes");
 }
 
 #[test]
@@ -609,12 +578,11 @@ fn many_connections_share_two_workers() {
                     .expect("send stats");
                 let mut got = [false; 2];
                 for _ in 0..2 {
-                    let line = c.read_line().expect("reply");
-                    let j = Json::parse(&line).expect("parses");
-                    assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{line}");
-                    match j.get("id") {
-                        Some(Json::Int(id)) if *id == 600 + conn => got[0] = true,
-                        Some(Json::Int(id)) if *id == 700 + conn => got[1] = true,
+                    let resp = c.recv().expect("reply");
+                    assert!(resp.is_ok(), "{}", resp.raw);
+                    match resp.id {
+                        Some(id) if id == 600 + conn => got[0] = true,
+                        Some(id) if id == 700 + conn => got[1] = true,
                         other => panic!("unexpected id {other:?} on connection {conn}"),
                     }
                 }
@@ -646,11 +614,10 @@ fn pipelined_requests_are_all_answered_and_shutdown_closes_cleanly() {
     }
     let mut ids = Vec::new();
     for _ in 0..6 {
-        let line = c.read_line().expect("pipelined reply");
-        let j = Json::parse(&line).expect("parses");
-        assert_eq!(j.get("ok"), Some(&Json::Bool(true)), "{line}");
-        if let Some(Json::Int(id)) = j.get("id") {
-            ids.push(*id);
+        let resp = c.recv().expect("pipelined reply");
+        assert!(resp.is_ok(), "{}", resp.raw);
+        if let Some(id) = resp.id {
+            ids.push(id);
         }
     }
     ids.sort_unstable();
@@ -658,7 +625,7 @@ fn pipelined_requests_are_all_answered_and_shutdown_closes_cleanly() {
     // Graceful shutdown drains and then closes the connection.
     handle.shutdown();
     assert!(
-        c.read_line().is_err(),
+        c.recv_raw().is_err(),
         "connection must be closed after shutdown"
     );
 }

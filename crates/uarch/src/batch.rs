@@ -210,10 +210,45 @@ impl SimPoint {
         h.u64(self.n_cores as u64);
         h.u64(self.interval.warmup);
     }
+
+    /// Which of `shards` memo-cache slices owns this point — shorthand
+    /// for [`shard_of_key`] over [`SimPoint::key`]. This is the routing
+    /// key the serve shard router uses, exposed here so router, tests,
+    /// and clients all compute it from the same stable fingerprint.
+    pub fn shard_of(&self, shards: usize) -> usize {
+        shard_of_key(self.key(), shards)
+    }
 }
 
 /// A 128-bit point fingerprint (two independent FNV-1a streams).
 pub type PointKey = (u64, u64);
+
+/// Which shard of `shards` owns `key`, under consistent slicing of the
+/// first fingerprint stream: shard `s` owns the contiguous slice
+/// `⌈s·2⁶⁴/n⌉ ..= ⌈(s+1)·2⁶⁴/n⌉ − 1` of `key.0` (see [`shard_slice`]).
+///
+/// This is the **stable routing contract** of the serve shard router:
+/// together with the FNV-1a fingerprint (stable across Rust releases by
+/// construction) it fixes which shard daemon's memo cache owns a point,
+/// so the slicing arithmetic must never change. The multiply-shift form
+/// is exact — `⌊key.0 · n / 2⁶⁴⌋` — and keeps the slices contiguous,
+/// which is what lets a router advertise the key-slice map as plain
+/// ranges in its `stats` topology block.
+pub fn shard_of_key(key: PointKey, shards: usize) -> usize {
+    assert!(shards > 0, "shards must be >= 1");
+    ((key.0 as u128 * shards as u128) >> 64) as usize
+}
+
+/// The inclusive `key.0` range owned by `shard` of `shards` under
+/// [`shard_of_key`]: the exact inverse of the multiply-shift slicing.
+/// Slices are contiguous, non-overlapping, and cover the full `u64`
+/// keyspace.
+pub fn shard_slice(shard: usize, shards: usize) -> (u64, u64) {
+    assert!(shard < shards, "shard index out of range");
+    let lo = ((shard as u128) << 64).div_ceil(shards as u128) as u64;
+    let hi = (((shard as u128 + 1) << 64).div_ceil(shards as u128) - 1) as u64;
+    (lo, hi)
+}
 
 /// Dual-stream FNV-1a hasher producing a 128-bit fingerprint. FNV is used
 /// for stability: the key must not change across Rust releases the way
@@ -638,6 +673,47 @@ mod tests {
             // Exact duplicate of the first point: a deterministic hit.
             single("Gcc", seed, CoreConfig::base_2d(), 8_000, 6_000),
         ]
+    }
+
+    #[test]
+    fn shard_slicing_is_a_stable_partition() {
+        // Pinned arithmetic: the router's key-slice contract. These
+        // values must never change — a shard daemon's memo cache owns
+        // its slice across releases.
+        assert_eq!(shard_of_key((0, 99), 1), 0);
+        assert_eq!(shard_of_key((u64::MAX, 0), 1), 0);
+        assert_eq!(shard_of_key((0x7FFF_FFFF_FFFF_FFFF, 0), 2), 0);
+        assert_eq!(shard_of_key((0x8000_0000_0000_0000, 0), 2), 1);
+        assert_eq!(shard_of_key((u64::MAX, 0), 3), 2);
+        assert_eq!(shard_slice(0, 2), (0, 0x7FFF_FFFF_FFFF_FFFF));
+        assert_eq!(shard_slice(1, 2), (0x8000_0000_0000_0000, u64::MAX));
+        // shard_slice is the exact inverse of shard_of_key, and the
+        // slices are contiguous over the whole keyspace.
+        for shards in [1usize, 2, 3, 5, 7, 16] {
+            let mut expect_lo = 0u64;
+            for s in 0..shards {
+                let (lo, hi) = shard_slice(s, shards);
+                assert_eq!(lo, expect_lo, "contiguous at shard {s}/{shards}");
+                assert!(lo <= hi);
+                assert_eq!(shard_of_key((lo, 0), shards), s);
+                assert_eq!(shard_of_key((hi, 0), shards), s);
+                if s + 1 < shards {
+                    assert_eq!(shard_of_key((hi + 1, 0), shards), s + 1);
+                    expect_lo = hi + 1;
+                } else {
+                    assert_eq!(hi, u64::MAX, "last slice ends the keyspace");
+                }
+            }
+        }
+        // SimPoint::shard_of goes through the same fingerprint as the
+        // memo cache, so equal points route identically and the shard
+        // index is always in range.
+        let p = single("Gcc", 7, CoreConfig::base_2d(), 8_000, 6_000);
+        for shards in [1usize, 2, 3] {
+            let s = p.shard_of(shards);
+            assert!(s < shards);
+            assert_eq!(s, shard_of_key(p.key(), shards));
+        }
     }
 
     #[test]
